@@ -1,0 +1,40 @@
+# clustersim build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the scaled default sizes (~15 min).
+experiments: build
+	$(GO) run ./cmd/experiments -procs 64 -size default all
+
+# Full Table 2 problem sizes (slow).
+paper: build
+	$(GO) run ./cmd/experiments -procs 64 -size paper all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clusterstudy
+	$(GO) run ./examples/workingsets
+	$(GO) run ./examples/costmodel
+	$(GO) run ./examples/tracereplay
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,416 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// scale (16 simulated processors, test-size problems), plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Each
+// benchmark reports the simulated execution time of the final
+// configuration it ran as "simcycles" next to the wall-clock figures.
+//
+// The full-size tables and figures are produced by cmd/experiments; see
+// EXPERIMENTS.md for paper-versus-measured values.
+package clustersim_test
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/cache"
+	"clustersim/internal/contention"
+	"clustersim/internal/core"
+	"clustersim/internal/experiments"
+	"clustersim/internal/memory"
+)
+
+const benchProcs = 16
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Procs: benchProcs, Size: apps.SizeTest}
+}
+
+func benchConfig(clusterSize, cacheKB int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = benchProcs
+	cfg.ClusterSize = clusterSize
+	cfg.CacheKBPerProc = cacheKB
+	return cfg
+}
+
+// runPoint simulates one (app, cluster, cache) point and fails the
+// benchmark on any verification error.
+func runPoint(b *testing.B, app string, clusterSize, cacheKB int) *core.Result {
+	b.Helper()
+	w, err := registry.Lookup(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := w.Run(benchConfig(clusterSize, cacheKB), apps.SizeTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// --- figures ------------------------------------------------------------
+
+// BenchmarkFig2Infinite regenerates one application's Figure 2 panel:
+// infinite caches across cluster sizes 1, 2, 4, 8.
+func BenchmarkFig2Infinite(b *testing.B) {
+	for _, app := range experiments.Fig2Apps {
+		app := app
+		b.Run(app, func(b *testing.B) {
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				for _, cs := range experiments.ClusterSizes {
+					last = runPoint(b, app, cs, 0)
+				}
+			}
+			b.ReportMetric(float64(last.ExecTime), "simcycles")
+		})
+	}
+}
+
+// BenchmarkFig3OceanSmall regenerates Figure 3: Ocean at half the grid.
+func BenchmarkFig3OceanSmall(b *testing.B) {
+	opt := benchOpts()
+	opt.Size = apps.SizeDefault // the small grid is derived by halving
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Data(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFinite regenerates one finite-capacity figure (Figures 4-8).
+func benchFinite(b *testing.B, app string) {
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		for _, kb := range experiments.FiniteCachesKB {
+			for _, cs := range experiments.ClusterSizes {
+				last = runPoint(b, app, cs, kb)
+			}
+		}
+	}
+	b.ReportMetric(float64(last.ExecTime), "simcycles")
+}
+
+// BenchmarkFig4Raytrace regenerates Figure 4 (finite capacity, Raytrace).
+func BenchmarkFig4Raytrace(b *testing.B) { benchFinite(b, "raytrace") }
+
+// BenchmarkFig5MP3D regenerates Figure 5 (finite capacity, MP3D).
+func BenchmarkFig5MP3D(b *testing.B) { benchFinite(b, "mp3d") }
+
+// BenchmarkFig6Barnes regenerates Figure 6 (finite capacity, Barnes).
+func BenchmarkFig6Barnes(b *testing.B) { benchFinite(b, "barnes") }
+
+// BenchmarkFig7FMM regenerates Figure 7 (finite capacity, FMM).
+func BenchmarkFig7FMM(b *testing.B) { benchFinite(b, "fmm") }
+
+// BenchmarkFig8Volrend regenerates Figure 8 (finite capacity, Volrend).
+func BenchmarkFig8Volrend(b *testing.B) { benchFinite(b, "volrend") }
+
+// --- tables -------------------------------------------------------------
+
+// BenchmarkTable3WorkingSets regenerates one application's Table 3 row:
+// the unclustered miss-rate-versus-cache-size sweep.
+func BenchmarkTable3WorkingSets(b *testing.B) {
+	for _, app := range registry.Names() {
+		app := app
+		b.Run(app, func(b *testing.B) {
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				last = runPoint(b, app, 1, 0)
+				for _, kb := range experiments.WorkingSetSweepKB {
+					last = runPoint(b, app, 1, kb)
+				}
+			}
+			b.ReportMetric(100*last.Aggregate().ReadMissRate(), "missrate%")
+		})
+	}
+}
+
+// BenchmarkTable4BankConflict regenerates the bank-conflict formula.
+func BenchmarkTable4BankConflict(b *testing.B) {
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, n := range experiments.ClusterSizes {
+			sum += contention.ClusterConflictProbability(n)
+		}
+	}
+	b.ReportMetric(sum/float64(b.N), "sumC")
+}
+
+// BenchmarkTable5LoadLatency regenerates the load-latency expansion
+// factors from each application's profile.
+func BenchmarkTable5LoadLatency(b *testing.B) {
+	var f contention.LoadFactors
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		rows, err := s.Table5Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = rows[len(rows)-1].Factors
+	}
+	b.ReportMetric(f[3], "factor4cyc")
+}
+
+// BenchmarkTable6Clustered4KB regenerates the clustering-with-costs
+// table at 4 KB caches.
+func BenchmarkTable6Clustered4KB(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		rows, err := s.CostedData(experiments.Table6Apps, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = rows[0].Relative[8]
+	}
+	b.ReportMetric(v, "rel8way")
+}
+
+// BenchmarkTable7ClusteredInf regenerates the clustering-with-costs
+// table at infinite caches.
+func BenchmarkTable7ClusteredInf(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		rows, err := s.CostedData(experiments.Table7Apps, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = rows[0].Relative[8]
+	}
+	b.ReportMetric(v, "rel8way")
+}
+
+// --- ablations (design choices called out in DESIGN.md) ------------------
+
+// BenchmarkAblationQuantum measures the speed/skew trade of the engine's
+// event-ordering slack on Ocean.
+func BenchmarkAblationQuantum(b *testing.B) {
+	for _, q := range []core.Clock{0, 50, 200} {
+		q := q
+		b.Run(map[bool]string{true: "exact", false: ""}[q == 0]+cyc(q), func(b *testing.B) {
+			w, _ := registry.Lookup("ocean")
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(4, 0)
+				cfg.Quantum = q
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.ExecTime), "simcycles")
+		})
+	}
+}
+
+func cyc(q core.Clock) string {
+	switch q {
+	case 0:
+		return ""
+	case 50:
+		return "q50"
+	default:
+		return "q200"
+	}
+}
+
+// BenchmarkAblationLineSize measures the line-prefetching effect the
+// paper attributes to its 64-byte lines, on Ocean and FFT.
+func BenchmarkAblationLineSize(b *testing.B) {
+	for _, app := range []string{"ocean", "fft"} {
+		for _, line := range []uint64{16, 64, 256} {
+			app, line := app, line
+			b.Run(app+"/"+byteLabel(line), func(b *testing.B) {
+				w, _ := registry.Lookup(app)
+				var last *core.Result
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(2, 0)
+					cfg.LineBytes = line
+					res, err := w.Run(cfg, apps.SizeTest)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.ExecTime), "simcycles")
+			})
+		}
+	}
+}
+
+func byteLabel(n uint64) string {
+	switch n {
+	case 16:
+		return "16B"
+	case 64:
+		return "64B"
+	default:
+		return "256B"
+	}
+}
+
+// BenchmarkAblationReplacementHints contrasts the directory with and
+// without replacement hints on a capacity-stressed MP3D.
+func BenchmarkAblationReplacementHints(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "with-hints"
+		if disable {
+			name = "without-hints"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, _ := registry.Lookup("mp3d")
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(2, 4)
+				cfg.DisableReplacementHints = disable
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			var inv uint64
+			for _, c := range last.Clusters {
+				inv += c.InvalidationsSent
+			}
+			b.ReportMetric(float64(inv), "invalidations")
+		})
+	}
+}
+
+// BenchmarkAblationReplacement contrasts LRU with FIFO replacement in
+// the fully associative cluster cache on a capacity-stressed Barnes.
+func BenchmarkAblationReplacement(b *testing.B) {
+	for _, policy := range []cache.ReplacePolicy{cache.LRU, cache.FIFO} {
+		policy := policy
+		name := "lru"
+		if policy == cache.FIFO {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, _ := registry.Lookup("barnes")
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(2, 4)
+				cfg.Policy = policy
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.ExecTime), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement contrasts round-robin first-touch page
+// placement with homing everything at cluster 0, on FFT (whose arrays
+// are all first-touch homed; Ocean places its grids explicitly and is
+// insensitive by design).
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, policy := range []memory.PlacementPolicy{memory.RoundRobin, memory.AllOnZero} {
+		policy := policy
+		name := "round-robin"
+		if policy == memory.AllOnZero {
+			name = "all-on-zero"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, _ := registry.Lookup("fft")
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(1, 0)
+				cfg.Placement = policy
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			// The aggregate local fraction is ~1/clusters under either
+			// policy by symmetry; what placement changes is which
+			// processors enjoy it. Report the luckiest processor's stall
+			// relative to the average: homing everything at cluster 0
+			// hands processor 0 all the 30-cycle local misses.
+			minStall := int64(1 << 62)
+			var sumStall int64
+			for _, p := range last.Procs {
+				if p.LoadStall < minStall {
+					minStall = p.LoadStall
+				}
+				sumStall += p.LoadStall
+			}
+			if sumStall > 0 {
+				avg := float64(sumStall) / float64(len(last.Procs))
+				b.ReportMetric(float64(minStall)/avg, "minstallfrac")
+			}
+			b.ReportMetric(float64(last.ExecTime), "simcycles")
+		})
+	}
+}
+
+// --- extension experiments (the paper's stated future work) --------------
+
+// BenchmarkExtAssociativity regenerates the destructive-interference
+// study: limited-associativity cluster caches at 4 KB per processor.
+func BenchmarkExtAssociativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		if _, err := experiments.ExtAssociativityData(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtOrganizations regenerates the shared-cache versus
+// shared-main-memory cluster comparison.
+func BenchmarkExtOrganizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		if _, err := experiments.ExtOrganizationsData(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStoreBuffers measures how much of MP3D's performance
+// rests on the paper's hidden-write-latency assumption.
+func BenchmarkAblationStoreBuffers(b *testing.B) {
+	for _, blocking := range []bool{false, true} {
+		blocking := blocking
+		name := "hidden-writes"
+		if blocking {
+			name = "blocking-writes"
+		}
+		b.Run(name, func(b *testing.B) {
+			w, _ := registry.Lookup("mp3d")
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(2, 0)
+				cfg.BlockingWrites = blocking
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.ExecTime), "simcycles")
+		})
+	}
+}
+
+// BenchmarkExtScaling regenerates the processor-scaling study (Ocean on
+// a fixed problem, unclustered vs 4-way).
+func BenchmarkExtScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		if _, err := experiments.ExtScalingData(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

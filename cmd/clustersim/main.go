@@ -1,0 +1,90 @@
+// Command clustersim runs one application on one clustered-machine
+// configuration and prints the execution-time breakdown and miss
+// profile.
+//
+// Usage:
+//
+//	clustersim -app ocean -procs 64 -cluster 4 -cache 16 -size default
+//
+// -cache 0 simulates infinite caches (the paper's Figure 2 setting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "ocean", "application: "+strings.Join(registry.Names(), ", "))
+		procs   = flag.Int("procs", 64, "total processors")
+		cluster = flag.Int("cluster", 1, "processors per cluster (1, 2, 4 or 8)")
+		cacheKB = flag.Int("cache", 0, "cache KB per processor (0 = infinite)")
+		size    = flag.String("size", "default", "problem size: test, default or paper")
+		line    = flag.Uint64("line", 64, "cache line bytes")
+		quantum = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
+		profile = flag.Bool("profile", false, "attribute references to named allocations")
+		org     = flag.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
+	)
+	flag.Parse()
+
+	sz, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := registry.Lookup(*app)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.ClusterSize = *cluster
+	cfg.CacheKBPerProc = *cacheKB
+	cfg.LineBytes = *line
+	cfg.Quantum = *quantum
+	cfg.ProfileRegions = *profile
+	switch *org {
+	case "shared-cache":
+		cfg.Organization = core.SharedCache
+	case "shared-memory":
+		cfg.Organization = core.SharedMemory
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *org))
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	res, err := w.Run(cfg, sz)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s size)\n", w.Name, sz)
+	res.WriteSummary(os.Stdout)
+	if *profile {
+		fmt.Println("region profile:")
+		res.WriteRegionProfile(os.Stdout)
+	}
+}
+
+func parseSize(s string) (apps.Size, error) {
+	switch s {
+	case "test":
+		return apps.SizeTest, nil
+	case "default":
+		return apps.SizeDefault, nil
+	case "paper":
+		return apps.SizePaper, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (test, default, paper)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] <what>...
+//
+// where <what> is any of: table1 table2 table3 table4 table5 table6
+// table7 fig2 fig3 fig4 fig5 fig6 fig7 fig8, or "all".
+//
+// By default the runs use the scaled default problem sizes on the
+// paper's 64-processor machine; -size paper selects the full Table 2
+// problem sizes (slower), and -procs shrinks the machine for quick
+// looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/experiments"
+)
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 64, "total processors")
+		size    = flag.String("size", "default", "problem size: test, default or paper")
+		quantum = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
+		bars    = flag.Bool("bars", false, "render figures as ASCII stacked bars")
+		csvOut  = flag.Bool("csv", false, "emit figure data as CSV rows")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|all>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	opt := experiments.DefaultOptions()
+	opt.Procs = *procs
+	opt.Quantum = *quantum
+	opt.Bars = *bars
+	opt.CSV = *csvOut
+	switch *size {
+	case "test":
+		opt.Size = apps.SizeTest
+	case "default":
+		opt.Size = apps.SizeDefault
+	case "paper":
+		opt.Size = apps.SizePaper
+	default:
+		fatal(fmt.Errorf("unknown size %q", *size))
+	}
+
+	what := flag.Args()
+	if len(what) == 1 && what[0] == "all" {
+		what = []string{"table1", "table2", "table3", "table4", "table5",
+			"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table6", "table7",
+			"ext-assoc", "ext-org", "ext-scaling"}
+	}
+	// One suite memoizes simulation points shared between experiments
+	// (e.g. Figures 4-8 and Tables 3, 6).
+	suite := experiments.NewSuite(opt)
+	for i, name := range what {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(suite, name); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(s *experiments.Suite, name string) error {
+	opt := s.Opt
+	switch name {
+	case "table1":
+		return experiments.Table1(opt)
+	case "table2":
+		return experiments.Table2(opt)
+	case "table3":
+		return s.PrintTable3()
+	case "table4":
+		return experiments.Table4(opt)
+	case "table5":
+		return s.PrintTable5()
+	case "table6":
+		return s.PrintTable6()
+	case "table7":
+		return s.PrintTable7()
+	case "fig2":
+		return s.PrintFig2()
+	case "fig3":
+		return experiments.Fig3(opt)
+	case "fig4", "fig5", "fig6", "fig7", "fig8":
+		var n int
+		fmt.Sscanf(name, "fig%d", &n)
+		return s.PrintFigFinite(n)
+	case "ext-assoc":
+		return experiments.ExtAssociativity(opt)
+	case "ext-org":
+		return experiments.ExtOrganizations(opt)
+	case "ext-scaling":
+		return experiments.ExtScaling(opt)
+	}
+	return fmt.Errorf("unknown experiment %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
+}

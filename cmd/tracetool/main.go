@@ -1,0 +1,139 @@
+// Command tracetool records application reference traces and replays
+// them through different machine configurations — the trace-driven mode
+// of Tango-lite.
+//
+// Record a trace:
+//
+//	tracetool record -app radix -procs 16 -size test -o radix.trace
+//
+// Replay it through other machines:
+//
+//	tracetool replay -i radix.trace -cluster 4 -cache 8
+//	tracetool replay -i radix.trace -cluster 8 -org shared-memory
+//
+// Trace-driven replay fixes the original interleaving, so it is a fast
+// approximation best suited to cache-capacity questions; see the trace
+// package documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+	"clustersim/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracetool record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app := fs.String("app", "radix", "application to trace")
+	procs := fs.Int("procs", 16, "total processors")
+	cluster := fs.Int("cluster", 1, "processors per cluster during recording")
+	size := fs.String("size", "test", "problem size: test, default or paper")
+	out := fs.String("o", "app.trace", "output trace file")
+	fs.Parse(args)
+
+	sz, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := registry.Lookup(*app)
+	if err != nil {
+		fatal(err)
+	}
+	col := trace.NewCollector(*procs)
+	cfg := core.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.ClusterSize = *cluster
+	cfg.Tracer = col
+	if _, err := w.Run(cfg, sz); err != nil {
+		fatal(err)
+	}
+	tr := col.Finish()
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d events (%d regions, %d sync objects) to %s\n",
+		len(tr.Events), len(tr.Regions), len(tr.Syncs), *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "app.trace", "input trace file")
+	cluster := fs.Int("cluster", 1, "processors per cluster")
+	cacheKB := fs.Int("cache", 0, "cache KB per processor (0 = infinite)")
+	org := fs.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Procs = tr.Procs
+	cfg.ClusterSize = *cluster
+	cfg.CacheKBPerProc = *cacheKB
+	switch *org {
+	case "shared-cache":
+		cfg.Organization = core.SharedCache
+	case "shared-memory":
+		cfg.Organization = core.SharedMemory
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *org))
+	}
+	res, err := trace.Replay(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d events\n", len(tr.Events))
+	res.WriteSummary(os.Stdout)
+}
+
+func parseSize(s string) (apps.Size, error) {
+	switch s {
+	case "test":
+		return apps.SizeTest, nil
+	case "default":
+		return apps.SizeDefault, nil
+	case "paper":
+		return apps.SizePaper, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,23 @@
+// Package clustersim reproduces "The Benefits of Clustering in Shared
+// Address Space Multiprocessors: An Applications-Driven Investigation"
+// (Erlichson, Nayfeh, Singh, Olukotun — Stanford CSL-TR-94-632 / SC'95)
+// as a self-contained Go library.
+//
+// The system is an execution-driven simulator of a 64-processor shared
+// address space machine whose processors share cluster caches of 1, 2, 4
+// or 8 processors, kept coherent by a full-bit-vector directory with
+// replacement hints, plus the paper's nine SPLASH-era applications
+// (Barnes, FFT, FMM, LU, MP3D, Ocean, Radix, Raytrace, Volrend) and the
+// analytic shared-cache cost model of its Section 6.
+//
+// Entry points:
+//
+//   - internal/core — the simulator's public API (Machine, Proc, Config).
+//   - internal/apps/... — the applications, each independently verified.
+//   - internal/experiments — regenerates every table and figure.
+//   - cmd/clustersim, cmd/experiments — command-line front ends.
+//   - examples/ — runnable walkthroughs of the paper's mechanisms.
+//
+// The benchmarks in bench_test.go regenerate each table and figure at a
+// reduced scale; see EXPERIMENTS.md for paper-versus-measured results.
+package clustersim

@@ -1,0 +1,61 @@
+// Quickstart: build a clustered machine, run a hand-written kernel on
+// it, and read the paper-style execution breakdown.
+//
+// The kernel is a miniature of the paper's central mechanism: all
+// processors repeatedly read a shared, read-mostly table. Processors
+// that share a cluster cache fetch it once per cluster instead of once
+// per processor, so the 4-way-clustered machine finishes faster.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clustersim/internal/core"
+)
+
+func main() {
+	for _, clusterSize := range []int{1, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Procs = 16
+		cfg.ClusterSize = clusterSize
+
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// A shared 16 KB read-mostly table and a private output slot per
+		// processor.
+		table := m.Alloc(16*1024, "table")
+		out := m.Alloc(uint64(cfg.Procs)*64, "out")
+		bar := m.NewBarrier()
+
+		res, err := m.Run(func(p *core.Proc) {
+			// Everybody scans the shared table three times...
+			for pass := 0; pass < 3; pass++ {
+				for off := uint64(0); off < 16*1024; off += 64 {
+					p.Read(table + off)
+					p.Compute(2)
+				}
+				bar.Wait(p)
+			}
+			// ...then writes a private result.
+			p.Write(out + uint64(p.ID())*64)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %d processor(s) per cluster ===\n", clusterSize)
+		res.WriteSummary(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("The clustered machine satisfies most table reads inside the")
+	fmt.Println("cluster: same program, fewer misses, shorter execution time.")
+}

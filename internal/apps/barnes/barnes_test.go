@@ -1,0 +1,262 @@
+package barnes
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestForcesMatchDirectSum(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Aggregate().References() == 0 {
+		t.Fatal("no references")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestTightThetaIsMoreAccurate(t *testing.T) {
+	// θ=0.3 opens many more cells; the run must still verify (tolerance
+	// is fixed) and issue more references than θ=1.0.
+	loose, err := Run(testCfg(4, 1), Params{Bodies: 256, Steps: 1, Theta: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(testCfg(4, 1), Params{Bodies: 256, Steps: 1, Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Aggregate().References() <= loose.Aggregate().References() {
+		t.Errorf("tight theta should do more work: %d vs %d",
+			tight.Aggregate().References(), loose.Aggregate().References())
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{Bodies: 1, Steps: 1, Theta: 1}); err == nil {
+		t.Error("want error for one body")
+	}
+	if _, err := Run(testCfg(4, 1), Params{Bodies: 16, Steps: 1, Theta: 0}); err == nil {
+		t.Error("want error for zero theta")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestParallelBuildConsistent(t *testing.T) {
+	// The same problem built by 1 and by 8 processors must produce
+	// verifiable forces (the per-cell-lock build must not lose bodies).
+	for _, procs := range []int{1, 2, 8} {
+		if _, err := Run(testCfg(procs, 1), Params{Bodies: 512, Steps: 1, Theta: 0.8}); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestMultipleSteps(t *testing.T) {
+	if _, err := Run(testCfg(4, 2), Params{Bodies: 128, Steps: 3, Theta: 1.0}); err != nil {
+		t.Errorf("3 steps: %v", err)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "barnes" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+// TestClusteringNearNeutralInfinite reproduces the paper's Figure 2
+// finding for Barnes: with infinite caches, clustering yields almost no
+// benefit (≤ a few percent).
+func TestClusteringNearNeutralInfinite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{Bodies: 1024, Steps: 1, Theta: 1.0}
+	base, err := Run(testCfg(8, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := Run(testCfg(8, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(clus.ExecTime) / float64(base.ExecTime)
+	if ratio < 0.75 || ratio > 1.15 {
+		t.Errorf("Barnes infinite-cache clustering ratio %.3f, expected near-neutral", ratio)
+	}
+}
+
+// buildTreeForAudit runs one step on a machine and returns the tree for
+// structural inspection.
+func buildTreeForAudit(t *testing.T, procs int, bodies int) *tree {
+	t.Helper()
+	// Re-run the public entry point but keep the tree: replicate Run's
+	// construction at small scale with a single step.
+	cfg := testCfg(procs, 1)
+	pr := Params{Bodies: bodies, Steps: 1, Theta: 1.0}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pr.Bodies
+	maxCells := 4*n + 64
+	tr := &tree{
+		cells:  apps.NewRecs(m, maxCells, cStride, "cells"),
+		bodies: apps.NewRecs(m, n, bStride, "bodies"),
+		isLeaf: make([]bool, maxCells),
+		count:  make([]int32, maxCells),
+		child:  make([][8]int32, maxCells),
+		center: make([][3]float64, maxCells),
+		half:   make([]float64, maxCells),
+		com:    make([][3]float64, maxCells),
+		mass:   make([]float64, maxCells),
+		pos:    make([][3]float64, n),
+		vel:    make([][3]float64, n),
+		acc:    make([][3]float64, n),
+		bm:     make([]float64, n),
+	}
+	initPlummer(tr, n)
+	locks := make([]*core.Lock, lockPool)
+	for i := range locks {
+		locks[i] = m.NewLock("cell")
+	}
+	bar := m.NewBarrier()
+	_, err = m.Run(func(p *core.Proc) {
+		id := p.ID()
+		lo, hi := apps.Chunk(n, id, p.NumProcs())
+		if id == 0 {
+			tr.next = 0
+			root := tr.allocCell([3]float64{0, 0, 0}, boundingHalf(tr))
+			tr.root = root
+			tr.writeCellMeta(p, root)
+		}
+		bar.Wait(p)
+		for b := lo; b < hi; b++ {
+			tr.insert(p, locks, b)
+		}
+		bar.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTreeContainsEveryBodyExactlyOnce audits the parallel build: no
+// body may be lost or duplicated by racing inserts.
+func TestTreeContainsEveryBodyExactlyOnce(t *testing.T) {
+	for _, procs := range []int{1, 4, 8} {
+		tr := buildTreeForAudit(t, procs, 300)
+		seen := make([]int, 300)
+		var walk func(c int)
+		walk = func(c int) {
+			if tr.isLeaf[c] {
+				for i := 0; i < int(tr.count[c]); i++ {
+					seen[tr.child[c][i]]++
+				}
+				return
+			}
+			for i := 0; i < 8; i++ {
+				if ch := tr.child[c][i]; ch != -1 {
+					walk(int(ch))
+				}
+			}
+		}
+		walk(tr.root)
+		for b, n := range seen {
+			if n != 1 {
+				t.Fatalf("procs=%d: body %d appears %d times in the tree", procs, b, n)
+			}
+		}
+	}
+}
+
+// TestTreeGeometry audits spatial containment: every body sits inside
+// the cell that holds it, and children nest inside parents.
+func TestTreeGeometry(t *testing.T) {
+	tr := buildTreeForAudit(t, 4, 300)
+	var walk func(c int)
+	walk = func(c int) {
+		for d := 0; d < 3; d++ {
+			if tr.half[c] <= 0 {
+				t.Fatalf("cell %d has nonpositive half-width", c)
+			}
+		}
+		if tr.isLeaf[c] {
+			for i := 0; i < int(tr.count[c]); i++ {
+				b := tr.child[c][i]
+				for d := 0; d < 3; d++ {
+					lo := tr.center[c][d] - tr.half[c] - 1e-9
+					hi := tr.center[c][d] + tr.half[c] + 1e-9
+					if tr.pos[b][d] < lo || tr.pos[b][d] > hi {
+						t.Fatalf("body %d outside its leaf %d in dim %d", b, c, d)
+					}
+				}
+			}
+			return
+		}
+		for i := 0; i < 8; i++ {
+			ch := tr.child[c][i]
+			if ch == -1 {
+				continue
+			}
+			if tr.half[int(ch)] > tr.half[c]/2+1e-12 {
+				t.Fatalf("child %d larger than half its parent %d", ch, c)
+			}
+			walk(int(ch))
+		}
+	}
+	walk(tr.root)
+}
+
+// TestLeafBucketBound: no settled leaf may exceed the bucket capacity.
+func TestLeafBucketBound(t *testing.T) {
+	tr := buildTreeForAudit(t, 8, 500)
+	var walk func(c int)
+	walk = func(c int) {
+		if tr.isLeaf[c] {
+			if int(tr.count[c]) > bucketCap {
+				t.Fatalf("leaf %d holds %d bodies (cap %d)", c, tr.count[c], bucketCap)
+			}
+			return
+		}
+		for i := 0; i < 8; i++ {
+			if ch := tr.child[c][i]; ch != -1 {
+				walk(int(ch))
+			}
+		}
+	}
+	walk(tr.root)
+}

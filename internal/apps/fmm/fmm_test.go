@@ -1,0 +1,84 @@
+package fmm
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestFieldMatchesDirectSum(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Aggregate().References() == 0 {
+		t.Fatal("no references")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestExpansionOrderConvergence(t *testing.T) {
+	// More terms must shrink the sampled field error — the usual
+	// spectral-convergence check for multipole codes.
+	errOf := func(terms int) float64 {
+		e, err := SampledError(testCfg(2, 1), Params{Bodies: 512, Terms: terms})
+		if err != nil {
+			t.Fatalf("terms=%d: %v", terms, err)
+		}
+		return e
+	}
+	e4 := errOf(4)
+	e12 := errOf(12)
+	if e12 >= e4 {
+		t.Errorf("error did not shrink with order: p=4 → %.2e, p=12 → %.2e", e4, e12)
+	}
+	if e12 > 1e-4 {
+		t.Errorf("p=12 error %.2e too large; expansion math wrong", e12)
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{Bodies: 1, Terms: 8}); err == nil {
+		t.Error("want error for one body")
+	}
+	if _, err := Run(testCfg(4, 1), Params{Bodies: 64, Terms: 1}); err == nil {
+		t.Error("want error for degenerate expansion")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "fmm" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}

@@ -1,0 +1,97 @@
+package lu
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestFactorizationCorrect(t *testing.T) {
+	res, err := Run(testCfg(4, 1), Params{N: 32, Block: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ExecTime <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	agg := res.Aggregate()
+	if agg.References() == 0 {
+		t.Fatal("no memory references issued")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), Params{N: 32, Block: 8}); err != nil {
+			t.Errorf("cluster size %d: %v", cs, err)
+		}
+	}
+}
+
+func TestRejectsBadBlock(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{N: 30, Block: 8}); err == nil {
+		t.Fatal("want error for block not dividing N")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r1, err := Run(testCfg(4, 2), Params{N: 32, Block: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), Params{N: 32, Block: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestParamsForSizes(t *testing.T) {
+	if p := ParamsFor(apps.SizePaper); p.N != 512 || p.Block != 16 {
+		t.Errorf("paper params = %+v", p)
+	}
+	if p := ParamsFor(apps.SizeTest); p.N >= ParamsFor(apps.SizeDefault).N {
+		t.Errorf("test size %d not smaller than default", p.N)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "lu" || w.PaperProblem == "" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+	if _, err := w.Run(testCfg(4, 2), apps.SizeTest); err != nil {
+		t.Fatalf("workload run: %v", err)
+	}
+}
+
+// TestClusteringNearNeutral reproduces the paper's headline LU result at
+// small scale: clustering changes LU's execution time by only a few
+// percent (Figure 2 shows ≥98% of the 1-processor-cluster time).
+func TestClusteringNearNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base, err := Run(testCfg(8, 1), Params{N: 64, Block: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := Run(testCfg(8, 4), Params{N: 64, Block: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(clus.ExecTime) / float64(base.ExecTime)
+	if ratio < 0.80 || ratio > 1.20 {
+		t.Errorf("clustering changed LU time by ratio %.3f; paper says near-neutral", ratio)
+	}
+}

@@ -1,0 +1,202 @@
+// Package mp3d implements the paper's MP3D application: a particle-in-
+// cell rarefied-fluid-flow simulation written, as the paper puts it,
+// "with vector rather than parallel machines in mind". Particles are
+// dealt to processors round-robin with no spatial locality, so every
+// step's updates to the shared space-cell array are high-volume,
+// unstructured, read-write communication — the paper's communication
+// stress test. Collisions exchange velocities with the cell's previous
+// occupant, which makes total momentum an exactly conserved quantity we
+// verify.
+package mp3d
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+// Params sizes one MP3D run.
+type Params struct {
+	Particles int
+	Steps     int
+}
+
+// ParamsFor maps a size class to parameters. SizePaper is the paper's
+// 50,000 particles.
+func ParamsFor(size apps.Size) Params {
+	switch size {
+	case apps.SizeTest:
+		return Params{Particles: 512, Steps: 3}
+	case apps.SizePaper:
+		return Params{Particles: 50000, Steps: 8}
+	default:
+		return Params{Particles: 10000, Steps: 6}
+	}
+}
+
+// Workload registers MP3D in the application table.
+func Workload() apps.Runner {
+	return apps.Runner{
+		Name:           "mp3d",
+		Representative: "High-comm. unstructured accesses",
+		PaperProblem:   "50,000 particles",
+		Communication:  "High communication, unstructured",
+		WorkingSet:     "large, O(n/p)",
+		Run: func(cfg core.Config, size apps.Size) (*core.Result, error) {
+			return Run(cfg, ParamsFor(size))
+		},
+	}
+}
+
+// Particle record layout (stride 64 bytes — one cache line):
+// pos[3] float64 at 0, vel[3] float64 at 24, cell int at 48.
+const (
+	pOffPos  = 0
+	pOffVel  = 24
+	pOffCell = 48
+	pStride  = 64
+)
+
+// Cell record layout (stride 64): count at 0, lastParticle at 8,
+// momentum accumulator at 16.
+const (
+	cOffCount = 0
+	cOffLast  = 8
+	cOffMom   = 16
+	cStride   = 64
+)
+
+const dt = 0.4
+
+// Run advances the particle system and verifies momentum conservation
+// and position bounds.
+func Run(cfg core.Config, pr Params) (*core.Result, error) {
+	if pr.Particles < 1 || pr.Steps < 1 {
+		return nil, fmt.Errorf("mp3d: bad params %+v", pr)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := pr.Particles
+	// Space grid: roughly 8 particles per cell, as in the SPLASH runs.
+	g := int(math.Cbrt(float64(n) / 8.0))
+	if g < 2 {
+		g = 2
+	}
+	nc := g * g * g
+
+	parts := apps.NewRecs(m, n, pStride, "particles")
+	cells := apps.NewRecs(m, nc, cStride, "cells")
+	pos := make([][3]float64, n)
+	vel := make([][3]float64, n)
+	cellLast := make([]int32, nc) // Go-side cell state
+	for i := range cellLast {
+		cellLast[i] = -1
+	}
+
+	var startMom [3]float64
+	bar := m.NewBarrier()
+	res, err := m.Run(func(p *core.Proc) {
+		id := p.ID()
+		P := p.NumProcs()
+		// Initialization: deal particles round-robin (the vector-code
+		// assignment) with deterministic positions and velocities.
+		rng := rand.New(rand.NewSource(int64(31 + id)))
+		for i := id; i < n; i += P {
+			for d := 0; d < 3; d++ {
+				pos[i][d] = rng.Float64() * float64(g)
+				vel[i][d] = (rng.Float64() - 0.5) * 2
+				parts.Write(p, i, uint64(pOffPos+8*d))
+				parts.Write(p, i, uint64(pOffVel+8*d))
+			}
+		}
+		bar.Wait(p)
+		if id == 0 {
+			for i := 0; i < n; i++ {
+				for d := 0; d < 3; d++ {
+					startMom[d] += vel[i][d]
+				}
+			}
+		}
+		apps.Begin(p, bar)
+
+		for step := 0; step < pr.Steps; step++ {
+			for i := id; i < n; i += P {
+				// Move: read the particle record.
+				for d := 0; d < 3; d++ {
+					parts.Read(p, i, uint64(pOffPos+8*d))
+					parts.Read(p, i, uint64(pOffVel+8*d))
+				}
+				p.Compute(12)
+				var ci [3]int
+				for d := 0; d < 3; d++ {
+					x := pos[i][d] + vel[i][d]*dt
+					// Periodic wraparound keeps momentum conserved.
+					x -= math.Floor(x/float64(g)) * float64(g)
+					pos[i][d] = x
+					ci[d] = int(x)
+					if ci[d] >= g {
+						ci[d] = g - 1
+					}
+					parts.Write(p, i, uint64(pOffPos+8*d))
+				}
+				cell := (ci[0]*g+ci[1])*g + ci[2]
+				parts.Write(p, i, pOffCell)
+				// Cell update: read-modify-write the shared cell —
+				// the unstructured communication.
+				cells.Read(p, cell, cOffCount)
+				cells.Write(p, cell, cOffCount)
+				cells.Read(p, cell, cOffMom)
+				cells.Write(p, cell, cOffMom)
+				p.Compute(6)
+				// Collision with the cell's previous occupant: exchange
+				// velocities (elastic, momentum-preserving).
+				other := int(cellLast[cell])
+				if other >= 0 && other != i {
+					for d := 0; d < 3; d++ {
+						parts.Read(p, other, uint64(pOffVel+8*d))
+						vel[i][d], vel[other][d] = vel[other][d], vel[i][d]
+						parts.Write(p, other, uint64(pOffVel+8*d))
+						parts.Write(p, i, uint64(pOffVel+8*d))
+					}
+					p.Compute(20)
+				}
+				cellLast[cell] = int32(i)
+				cells.Write(p, cell, cOffLast)
+			}
+			bar.Wait(p)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verify(pos, vel, startMom, g); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// verify checks exact-permutation momentum conservation (collisions only
+// swap velocity vectors) and position bounds.
+func verify(pos, vel [][3]float64, startMom [3]float64, g int) error {
+	var endMom [3]float64
+	for i := range vel {
+		for d := 0; d < 3; d++ {
+			endMom[d] += vel[i][d]
+			if pos[i][d] < 0 || pos[i][d] >= float64(g) {
+				return fmt.Errorf("mp3d: particle %d out of bounds: %v", i, pos[i])
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(endMom[d]-startMom[d]) > 1e-6*(math.Abs(startMom[d])+float64(len(vel))) {
+			return fmt.Errorf("mp3d: momentum not conserved in dim %d: %g vs %g",
+				d, endMom[d], startMom[d])
+		}
+	}
+	return nil
+}

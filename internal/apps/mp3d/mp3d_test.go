@@ -1,0 +1,108 @@
+package mp3d
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestRunsAndConserves(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	agg := res.Aggregate()
+	if agg.References() == 0 {
+		t.Fatal("no references")
+	}
+	// MP3D is the communication stress test: it must produce write
+	// misses/upgrades from the shared cell read-modify-writes.
+	if agg.Upgrades+agg.WriteMisses == 0 {
+		t.Fatal("no write sharing observed; cell updates broken")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{Particles: 0, Steps: 1}); err == nil {
+		t.Error("want error for zero particles")
+	}
+	if _, err := Run(testCfg(4, 1), Params{Particles: 10, Steps: 0}); err == nil {
+		t.Error("want error for zero steps")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "mp3d" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+// TestHighCommunication checks MP3D's defining property: a large share of
+// execution time is load stall even with infinite caches (the paper shows
+// ~40% communication time for MP3D vs a few percent for LU).
+func TestHighCommunication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run(testCfg(8, 1), Params{Particles: 2048, Steps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, load, merge, _ := res.Fractions()
+	if load+merge < 0.10 {
+		t.Errorf("MP3D load+merge fraction %.3f too low for the communication stress test", load+merge)
+	}
+}
+
+// TestClusteringHelpsMP3D: the paper finds ~15% improvement at 8-way
+// clustering because communication time is so large. At small scale we
+// just require clustering to help, not hurt.
+func TestClusteringHelpsMP3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{Particles: 2048, Steps: 4}
+	base, err := Run(testCfg(8, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := Run(testCfg(8, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clus.ExecTime > base.ExecTime {
+		t.Errorf("clustering hurt MP3D: %d vs %d", clus.ExecTime, base.ExecTime)
+	}
+}

@@ -1,0 +1,209 @@
+package ocean
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestSolverConvergesAndRuns(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Aggregate().References() == 0 {
+		t.Fatal("no references")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestRejectsBadGrid(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{N: 33, Steps: 1, Cycles: 1}); err == nil {
+		t.Fatal("want error for N not 2^k+2")
+	}
+	if _, err := Run(testCfg(4, 1), Params{N: 34, Steps: 0, Cycles: 1}); err == nil {
+		t.Fatal("want error for zero steps")
+	}
+}
+
+func TestLayoutCoversGridExactly(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		lay := newLayout(34, procs)
+		seen := make([]bool, lay.total)
+		for i := 0; i < 34; i++ {
+			for j := 0; j < 34; j++ {
+				idx := lay.idx(i, j)
+				if idx < 0 || idx >= lay.total {
+					t.Fatalf("procs=%d: idx(%d,%d)=%d out of range", procs, i, j, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("procs=%d: cell (%d,%d) collides", procs, i, j)
+				}
+				seen[idx] = true
+			}
+		}
+		if lay.total != 34*34 {
+			t.Fatalf("procs=%d: total=%d, want %d", procs, lay.total, 34*34)
+		}
+	}
+}
+
+func TestLayoutOwnerConsistent(t *testing.T) {
+	lay := newLayout(18, 4)
+	for i := 0; i < 18; i++ {
+		for j := 0; j < 18; j++ {
+			pid := lay.owner(i, j)
+			s := ownedInner(lay, pid)
+			inner := i >= 1 && i < 17 && j >= 1 && j < 17
+			if inner && (i < s.rlo || i >= s.rhi || j < s.clo || j >= s.chi) {
+				t.Fatalf("inner cell (%d,%d) not in owner %d's span %+v", i, j, pid, s)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "ocean" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+// TestClusteringReducesCommunication is the paper's key Ocean result:
+// clustering internalises the left-right border exchanges, so load-stall
+// time drops markedly with cluster size.
+func TestClusteringReducesCommunication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{N: 34, Steps: 2, Cycles: 1}
+	base, err := Run(testCfg(16, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := Run(testCfg(16, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := base.Aggregate().LoadStall
+	cs := clus.Aggregate().LoadStall
+	if bs == 0 {
+		t.Fatal("baseline has no load stall; test configuration broken")
+	}
+	if float64(cs) > 0.9*float64(bs) {
+		t.Errorf("4-way clustering reduced Ocean load stall only %d -> %d", bs, cs)
+	}
+	if clus.ExecTime >= base.ExecTime {
+		t.Errorf("clustering did not improve Ocean: %d vs %d", clus.ExecTime, base.ExecTime)
+	}
+}
+
+// TestRestrictionIsBlockAverage drives the multigrid restriction on a
+// known field and checks the coarse right-hand side is the 2×2 block
+// average of the fine residual.
+func TestRestrictionIsBlockAverage(t *testing.T) {
+	cfg := testCfg(1, 1)
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineLay := newLayout(10, 1)  // 8 inner cells
+	coarseLay := newLayout(6, 1) // 4 inner cells
+	lays := []*layout{fineLay, coarseLay}
+	u := []*grid{newGrid(m, fineLay, "uf"), newGrid(m, coarseLay, "uc")}
+	f := []*grid{newGrid(m, fineLay, "ff"), newGrid(m, coarseLay, "fc")}
+	res := []*grid{newGrid(m, fineLay, "rf"), newGrid(m, coarseLay, "rc")}
+	bar := m.NewBarrier()
+	_, err = m.Run(func(p *core.Proc) {
+		// u = 0 everywhere, f(i,j) = i + 10j, so the residual equals f.
+		for i := 1; i < 9; i++ {
+			for j := 1; j < 9; j++ {
+				u[0].set(p, i, j, 0)
+				f[0].set(p, i, j, float64(i)+10*float64(j))
+			}
+		}
+		restrictResidual(p, 0, bar, lays, u, f, res, 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 1; ci < 5; ci++ {
+		for cj := 1; cj < 5; cj++ {
+			fi, fj := 2*ci-1, 2*cj-1
+			want := (rawAt(f[0], fi, fj) + rawAt(f[0], fi+1, fj) +
+				rawAt(f[0], fi, fj+1) + rawAt(f[0], fi+1, fj+1)) / 4
+			if got := rawAt(f[1], ci, cj); got != want {
+				t.Fatalf("coarse (%d,%d) = %v, want %v", ci, cj, got, want)
+			}
+			if rawAt(u[1], ci, cj) != 0 {
+				t.Fatalf("coarse u not zeroed at (%d,%d)", ci, cj)
+			}
+		}
+	}
+}
+
+func rawAt(g *grid, i, j int) float64 { return g.raw(i, j) }
+
+// TestSmoothReducesResidual: red-black Gauss-Seidel sweeps must strictly
+// reduce the residual on a Poisson problem.
+func TestSmoothReducesResidual(t *testing.T) {
+	cfg := testCfg(1, 1)
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := newLayout(10, 1)
+	u := newGrid(m, lay, "u")
+	f := newGrid(m, lay, "f")
+	var before, after float64
+	bar := m.NewBarrier()
+	_, err = m.Run(func(p *core.Proc) {
+		for i := 1; i < 9; i++ {
+			for j := 1; j < 9; j++ {
+				u.set(p, i, j, 0)
+				f.set(p, i, j, 1)
+			}
+		}
+		before = residualNorm(u, f)
+		smooth(p, 0, bar, lay, u, f, 1, 4)
+		after = residualNorm(u, f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point smoothers damp high frequencies fast but smooth error slowly
+	// (the reason multigrid exists); require a clear but modest drop.
+	if after >= before*0.8 {
+		t.Fatalf("smoothing barely reduced residual: %g -> %g", before, after)
+	}
+}

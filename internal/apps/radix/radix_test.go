@@ -1,0 +1,107 @@
+package radix
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Aggregate().References() == 0 {
+		t.Fatal("no references")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestOddPassCount(t *testing.T) {
+	// 16-bit keys with radix 256 → 2 passes; 24-bit → 3 passes. Both
+	// parities of the ping-pong must verify.
+	if _, err := Run(testCfg(4, 1), Params{Keys: 2048, Radix: 256, KeyBits: 16}); err != nil {
+		t.Errorf("2 passes: %v", err)
+	}
+	if _, err := Run(testCfg(4, 1), Params{Keys: 2048, Radix: 256, KeyBits: 24}); err != nil {
+		t.Errorf("3 passes: %v", err)
+	}
+}
+
+func TestSmallRadix(t *testing.T) {
+	if _, err := Run(testCfg(4, 2), Params{Keys: 1024, Radix: 16, KeyBits: 16}); err != nil {
+		t.Errorf("radix 16: %v", err)
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{Keys: 0, Radix: 256, KeyBits: 16}); err == nil {
+		t.Error("want error for zero keys")
+	}
+	if _, err := Run(testCfg(4, 1), Params{Keys: 100, Radix: 100, KeyBits: 16}); err == nil {
+		t.Error("want error for non-power-of-two radix")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "radix" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+// TestHistogramPrefetching: the paper observes radix's clustering benefit
+// shows up as prefetching on the shared histograms, with merge stalls
+// replacing load stalls; total time moves little.
+func TestHistogramPrefetching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{Keys: 8192, Radix: 64, KeyBits: 18}
+	base, err := Run(testCfg(8, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := Run(testCfg(8, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clus.Aggregate().Merges <= base.Aggregate().Merges {
+		t.Errorf("clustering should increase merge events: %d vs %d",
+			clus.Aggregate().Merges, base.Aggregate().Merges)
+	}
+	ratio := float64(clus.ExecTime) / float64(base.ExecTime)
+	if ratio < 0.5 || ratio > 1.25 {
+		t.Errorf("radix clustering ratio %.3f outside plausible band", ratio)
+	}
+}

@@ -1,0 +1,56 @@
+// Package registry collects the paper's nine applications into a single
+// ordered table, keyed by the names used in Tables 2 and 3 and the
+// figures.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/barnes"
+	"clustersim/internal/apps/fft"
+	"clustersim/internal/apps/fmm"
+	"clustersim/internal/apps/lu"
+	"clustersim/internal/apps/mp3d"
+	"clustersim/internal/apps/ocean"
+	"clustersim/internal/apps/radix"
+	"clustersim/internal/apps/raytrace"
+	"clustersim/internal/apps/volrend"
+)
+
+// All returns every workload in the paper's Table 2 order.
+func All() []apps.Runner {
+	return []apps.Runner{
+		barnes.Workload(),
+		fft.Workload(),
+		fmm.Workload(),
+		lu.Workload(),
+		mp3d.Workload(),
+		ocean.Workload(),
+		radix.Workload(),
+		raytrace.Workload(),
+		volrend.Workload(),
+	}
+}
+
+// Names returns the application names in Table 2 order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Lookup finds a workload by name.
+func Lookup(name string) (apps.Runner, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return apps.Runner{}, fmt.Errorf("registry: unknown application %q (known: %v)", name, known)
+}

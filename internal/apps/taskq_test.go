@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+
+	"clustersim/internal/core"
+)
+
+func taskMachine(t *testing.T, procs int) *core.Machine {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTaskQueuesCoverEveryTaskOnce: under stealing, each task is served
+// exactly once regardless of how unevenly the work is distributed.
+func TestTaskQueuesCoverEveryTaskOnce(t *testing.T) {
+	const procs = 4
+	const tasks = 97
+	m := taskMachine(t, procs)
+	q := NewTaskQueues(m, "tq")
+	bar := m.NewBarrier()
+	served := make([]int, tasks)
+	_, err := m.Run(func(p *core.Proc) {
+		lo, hi := Chunk(tasks, p.ID(), procs)
+		q.Init(p, lo, hi)
+		bar.Wait(p)
+		for {
+			task, ok := q.Next(p)
+			if !ok {
+				break
+			}
+			served[task]++
+			// Pathological imbalance: processor 0's tasks are 100×
+			// heavier, forcing the others to steal.
+			if p.ID() == 0 {
+				p.Compute(500)
+			} else {
+				p.Compute(5)
+			}
+		}
+		bar.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, n := range served {
+		if n != 1 {
+			t.Fatalf("task %d served %d times", task, n)
+		}
+	}
+}
+
+// TestTaskStealingBalances: with wildly uneven task costs, stealing must
+// beat the static assignment's critical path.
+func TestTaskStealingBalances(t *testing.T) {
+	const procs = 4
+	const tasks = 64
+	cost := func(task int) core.Clock {
+		if task < tasks/procs {
+			return 400 // all the heavy work sits in processor 0's range
+		}
+		return 10
+	}
+	run := func(steal bool) core.Clock {
+		m := taskMachine(t, procs)
+		q := NewTaskQueues(m, "tq")
+		bar := m.NewBarrier()
+		res, err := m.Run(func(p *core.Proc) {
+			lo, hi := Chunk(tasks, p.ID(), procs)
+			q.Init(p, lo, hi)
+			bar.Wait(p)
+			if steal {
+				for {
+					task, ok := q.Next(p)
+					if !ok {
+						break
+					}
+					p.Compute(cost(task))
+				}
+			} else {
+				for task := lo; task < hi; task++ {
+					p.Compute(cost(task))
+				}
+			}
+			bar.Wait(p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecTime
+	}
+	static := run(false)
+	stolen := run(true)
+	if stolen >= static {
+		t.Fatalf("stealing (%d) not faster than static (%d)", stolen, static)
+	}
+}
+
+// TestTaskQueuesDeterministic: queue order is reproducible.
+func TestTaskQueuesDeterministic(t *testing.T) {
+	run := func() []int {
+		m := taskMachine(t, 3)
+		q := NewTaskQueues(m, "tq")
+		bar := m.NewBarrier()
+		var order []int
+		_, err := m.Run(func(p *core.Proc) {
+			lo, hi := Chunk(30, p.ID(), 3)
+			q.Init(p, lo, hi)
+			bar.Wait(p)
+			for {
+				task, ok := q.Next(p)
+				if !ok {
+					break
+				}
+				order = append(order, task)
+				p.Compute(core.Clock(task%7) * 3)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+	// And it is a permutation of all tasks.
+	sorted := append([]int(nil), a...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("missing task %d", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package volrend
+
+import (
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/core"
+)
+
+func testCfg(procs, clusterSize int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	return cfg
+}
+
+func TestRendersAndMatchesSerial(t *testing.T) {
+	res, err := Run(testCfg(4, 1), ParamsFor(apps.SizeTest))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Aggregate().References() == 0 {
+		t.Fatal("no references")
+	}
+}
+
+func TestCorrectAcrossClusterSizes(t *testing.T) {
+	for _, cs := range []int{1, 2, 4} {
+		if _, err := Run(testCfg(4, cs), ParamsFor(apps.SizeTest)); err != nil {
+			t.Errorf("cluster %d: %v", cs, err)
+		}
+	}
+}
+
+func TestOctreeMinMaxSound(t *testing.T) {
+	v := &volume{edge: 16, data: buildVolume(16)}
+	v.buildOctree()
+	// Every voxel must lie within its leaf's [min,max] and the root's.
+	root := v.nodeIdx(0, 0, 0, 0)
+	leafSide := v.edge / leafBlock
+	lvl := v.levels - 1
+	for z := 0; z < v.edge; z++ {
+		for y := 0; y < v.edge; y++ {
+			for x := 0; x < v.edge; x++ {
+				d := v.at(x, y, z)
+				li := v.nodeIdx(lvl, x*leafSide/v.edge, y*leafSide/v.edge, z*leafSide/v.edge)
+				if d < v.minv[li] || d > v.maxv[li] {
+					t.Fatalf("voxel (%d,%d,%d)=%d outside leaf [%d,%d]",
+						x, y, z, d, v.minv[li], v.maxv[li])
+				}
+				if d < v.minv[root] || d > v.maxv[root] {
+					t.Fatalf("voxel outside root bounds")
+				}
+			}
+		}
+	}
+}
+
+func TestEmptySpaceSkippingSavesReads(t *testing.T) {
+	// Rendering with the octree must touch far fewer voxels than a
+	// naive march would (volume is mostly empty around the object).
+	res, err := Run(testCfg(2, 1), Params{VolumeEdge: 32, Width: 16, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := uint64(16 * 16 * 32 * 8) // every step fully sampled
+	if reads := res.Aggregate().Reads; reads >= naive {
+		t.Errorf("no empty-space skipping benefit: %d reads ≥ naive %d", reads, naive)
+	}
+}
+
+func TestImageHasContent(t *testing.T) {
+	// Guard against transfer-function regressions producing black frames;
+	// exercised via the run's own serial comparison plus a direct render.
+	v := &volume{edge: 32, data: buildVolume(32)}
+	v.buildOctree()
+	nonzero := 0
+	for py := 0; py < 16; py++ {
+		for px := 0; px < 16; px++ {
+			if v.render(nil, px, py, 16, 16) > 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero < 16 {
+		t.Fatalf("only %d nonzero pixels; volume or transfer function broken", nonzero)
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := Run(testCfg(4, 1), Params{VolumeEdge: 17, Width: 16, Height: 16}); err == nil {
+		t.Error("want error for non-power-of-two volume")
+	}
+	if _, err := Run(testCfg(4, 1), Params{VolumeEdge: 16, Width: 1, Height: 16}); err == nil {
+		t.Error("want error for tiny image")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := ParamsFor(apps.SizeTest)
+	r1, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testCfg(4, 2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("nondeterministic: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	w := Workload()
+	if w.Name != "volrend" || w.Run == nil {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+// TestSkipDistanceSound: a skip must never jump past an opaque voxel —
+// every skipped position's enclosing leaf is fully transparent.
+func TestSkipDistanceSound(t *testing.T) {
+	v := &volume{edge: 32, data: buildVolume(32)}
+	v.buildOctree()
+	for x := 0; x < 32; x += 3 {
+		for y := 0; y < 32; y += 3 {
+			z := 31
+			for z >= 0 {
+				skip := v.skipDistance(nil, x, y, z)
+				if skip == 0 {
+					z--
+					continue
+				}
+				for dz := 0; dz < skip && z-dz >= 0; dz++ {
+					if v.at(x, y, z-dz) >= threshold {
+						t.Fatalf("skip from (%d,%d,%d) of %d jumps over opaque voxel at z=%d",
+							x, y, z, skip, z-dz)
+					}
+				}
+				z -= skip
+			}
+		}
+	}
+}
+
+// TestTrilinearInterpolatesBetweenVoxels: at voxel centers the sample
+// equals the voxel; between two voxels it lies between their values.
+func TestTrilinearAtCenters(t *testing.T) {
+	v := &volume{edge: 8, data: make([]uint8, 8*8*8)}
+	for i := range v.data {
+		v.data[i] = uint8(i % 251)
+	}
+	for _, c := range [][3]int{{2, 3, 4}, {0, 0, 0}, {7, 7, 7}} {
+		got := v.trilinear(nil, float64(c[0])+0.5, float64(c[1])+0.5, float64(c[2])+0.5)
+		want := float64(v.at(c[0], c[1], c[2]))
+		if got != want {
+			t.Fatalf("center sample at %v = %v, want %v", c, got, want)
+		}
+	}
+	a := float64(v.at(1, 1, 1))
+	b := float64(v.at(2, 1, 1))
+	mid := v.trilinear(nil, 2.0, 1.5, 1.5) // halfway between the two in x
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mid < lo || mid > hi {
+		t.Fatalf("midpoint %v outside [%v,%v]", mid, lo, hi)
+	}
+}

@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// settle inserts tag as a completed Shared line at time 0.
+func settle(c *Cache, tag uint64) *Line {
+	c.Insert(tag, Shared, 0, 0)
+	return c.Lookup(tag, 1)
+}
+
+func TestLookupMissReturnsNil(t *testing.T) {
+	c := New(4, LRU)
+	if l := c.Lookup(42, 0); l != nil {
+		t.Fatalf("lookup in empty cache returned %v", l)
+	}
+}
+
+func TestInsertThenHit(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(7, Shared, 0, 100)
+	l := c.Lookup(7, 50)
+	if l == nil || !l.Pending {
+		t.Fatalf("line should be pending before ready time: %+v", l)
+	}
+	l = c.Lookup(7, 100)
+	if l == nil || l.Pending || l.State != Shared {
+		t.Fatalf("line should be settled Shared at ready time: %+v", l)
+	}
+}
+
+func TestWriteFillSettlesExclusive(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(9, Exclusive, 0, 30)
+	l := c.Lookup(9, 30)
+	if l == nil || l.State != Exclusive {
+		t.Fatalf("write fill should settle Exclusive: %+v", l)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3, LRU)
+	for tag := uint64(1); tag <= 3; tag++ {
+		settle(c, tag)
+	}
+	// Touch 1 so 2 becomes LRU.
+	c.Touch(c.Lookup(1, 10))
+	v, ev := c.Insert(4, Shared, 20, 40)
+	if !ev || v.Tag != 2 {
+		t.Fatalf("victim = %+v (evicted=%v), want tag 2", v, ev)
+	}
+	if c.Lookup(2, 20) != nil {
+		t.Error("evicted line still resident")
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestFIFOEvictionIgnoresTouch(t *testing.T) {
+	c := New(3, FIFO)
+	for tag := uint64(1); tag <= 3; tag++ {
+		settle(c, tag)
+	}
+	c.Touch(c.Lookup(1, 10)) // must not rescue 1 under FIFO
+	v, ev := c.Insert(4, Shared, 20, 40)
+	if !ev || v.Tag != 1 {
+		t.Fatalf("FIFO victim = %+v (evicted=%v), want tag 1", v, ev)
+	}
+}
+
+func TestInfiniteCacheNeverEvicts(t *testing.T) {
+	c := New(0, LRU)
+	for tag := uint64(0); tag < 10000; tag++ {
+		if _, ev := c.Insert(tag, Shared, 0, 0); ev {
+			t.Fatalf("infinite cache evicted at tag %d", tag)
+		}
+	}
+	if c.Len() != 10000 {
+		t.Fatalf("len = %d, want 10000", c.Len())
+	}
+	if c.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", c.Evictions)
+	}
+}
+
+func TestInvalidatePendingLine(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(5, Shared, 0, 1000)
+	if !c.Invalidate(5) {
+		t.Fatal("invalidate of pending line reported not resident")
+	}
+	if c.Lookup(5, 2000) != nil {
+		t.Fatal("invalidated line still resident")
+	}
+	if c.Invalidate(5) {
+		t.Fatal("second invalidate reported resident")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(3, Exclusive, 0, 10)
+	c.Lookup(3, 10) // settle
+	c.Downgrade(3)
+	if l := c.Lookup(3, 11); l.State != Shared {
+		t.Fatalf("state after downgrade = %v, want Shared", l.State)
+	}
+	// Downgrading a pending write fill retargets the fill state.
+	c.Insert(8, Exclusive, 11, 100)
+	c.Downgrade(8)
+	if l := c.Lookup(8, 100); l.State != Shared {
+		t.Fatalf("pending fill downgraded: settled %v, want Shared", l.State)
+	}
+	// Downgrading an absent or Shared line is a no-op.
+	c.Downgrade(999)
+	c.Downgrade(3)
+	if l := c.Lookup(3, 12); l.State != Shared {
+		t.Fatal("double downgrade corrupted state")
+	}
+}
+
+func TestVictimSkipsPendingLines(t *testing.T) {
+	c := New(2, LRU)
+	c.Insert(1, Shared, 0, 1000) // stays pending
+	settle(c, 2)
+	v, ev := c.Insert(3, Shared, 5, 35)
+	if !ev || v.Tag != 2 {
+		t.Fatalf("victim = %+v, want settled line 2 (pending 1 must be skipped)", v)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	c := New(4, LRU)
+	c.Insert(1, Shared, 0, 0)
+	c.Insert(1, Shared, 0, 0)
+}
+
+// TestLRUModelEquivalence drives the cache with a random reference stream
+// and checks residency against a brute-force LRU model.
+func TestLRUModelEquivalence(t *testing.T) {
+	const cap = 8
+	c := New(cap, LRU)
+	var model []uint64 // most recent first
+	r := rand.New(rand.NewSource(1))
+	touch := func(tag uint64) {
+		for i, m := range model {
+			if m == tag {
+				model = append(model[:i], model[i+1:]...)
+				break
+			}
+		}
+		model = append([]uint64{tag}, model...)
+		if len(model) > cap {
+			model = model[:cap]
+		}
+	}
+	for step := 0; step < 5000; step++ {
+		tag := uint64(r.Intn(20))
+		if l := c.Lookup(tag, int64(step)); l != nil {
+			c.Touch(l)
+		} else {
+			c.Insert(tag, Shared, int64(step), int64(step)) // immediately settled
+		}
+		touch(tag)
+		for _, m := range model {
+			if c.Lookup(m, int64(step)) == nil {
+				t.Fatalf("step %d: model says %d resident, cache disagrees", step, m)
+			}
+		}
+		if c.Len() != len(model) {
+			t.Fatalf("step %d: len %d != model %d", step, c.Len(), len(model))
+		}
+	}
+}
+
+// Property: capacity is never exceeded (when no pending lines pin extras),
+// and a just-inserted line is always resident.
+func TestCapacityProperty(t *testing.T) {
+	f := func(tags []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		c := New(capacity, LRU)
+		for i, tg := range tags {
+			tag := uint64(tg)
+			if l := c.Lookup(tag, int64(i)); l != nil {
+				c.Touch(l)
+				continue
+			}
+			c.Insert(tag, Shared, int64(i), int64(i))
+			if c.Lookup(tag, int64(i)) == nil {
+				return false
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineStructRecycling(t *testing.T) {
+	c := New(2, LRU)
+	for tag := uint64(0); tag < 100; tag++ {
+		c.Lookup(tag, int64(tag))
+		c.Insert(tag, Shared, int64(tag), int64(tag))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if c.Evictions != 98 {
+		t.Fatalf("evictions = %d, want 98", c.Evictions)
+	}
+	// The LRU list and map must agree after heavy recycling.
+	n := 0
+	c.ForEach(func(l *Line) {
+		n++
+		if c.Lookup(l.Tag, 1000) != l {
+			t.Errorf("list entry %d not in map", l.Tag)
+		}
+	})
+	if n != 2 {
+		t.Fatalf("list has %d entries, want 2", n)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Invalid: "INVALID", Shared: "SHARED", Exclusive: "EXCLUSIVE"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,470 @@
+// Package coherence implements the invalidation-based, directory-backed
+// cache-coherence protocol of the simulated machine, with the memory-
+// operation latencies of the paper's Table 1.
+//
+// Misses are classified as in the paper: READ misses stall the processor
+// for the full fetch latency; WRITE misses and UPGRADE misses are assumed
+// completely hidden by store buffers and a relaxed consistency model, so
+// they cost no stall; a READ to a line that is still pending from an
+// outstanding READ or WRITE miss is a MERGE miss that blocks until the
+// data returns. Invalidations are instantaneous and may invalidate
+// pending lines.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clustersim/internal/cache"
+	"clustersim/internal/directory"
+	"clustersim/internal/memory"
+)
+
+// Clock mirrors engine.Clock.
+type Clock = int64
+
+// Latencies gives the fetch latency of each miss category, in cycles
+// (paper Table 1). Cache hits cost one cycle in the event-driven core;
+// the extra hit time of a shared cache is applied analytically by the
+// contention package.
+type Latencies struct {
+	LocalClean  Clock // miss to local home, satisfied by home (dir SHARED or NOT_CACHED)
+	LocalDirty  Clock // miss to local home, line dirty in a remote cluster
+	RemoteClean Clock // miss to remote home, satisfied by the home
+	RemoteDirty Clock // miss to remote home, line dirty in a third cluster (3 hops)
+}
+
+// DefaultLatencies returns the paper's Table 1 values: 30/100/100/150.
+func DefaultLatencies() Latencies {
+	return Latencies{LocalClean: 30, LocalDirty: 100, RemoteClean: 100, RemoteDirty: 150}
+}
+
+// SharedCacheHitCycles returns the Table 1 hit time of a shared first-
+// level cache for the given cluster size: 1 cycle unclustered, 2 cycles
+// for 2-processor clusters, 3 cycles for 4- and 8-processor clusters.
+func SharedCacheHitCycles(clusterSize int) Clock {
+	switch {
+	case clusterSize <= 1:
+		return 1
+	case clusterSize == 2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Class classifies one memory access.
+type Class uint8
+
+const (
+	Hit        Class = iota // found settled in the cluster cache
+	ReadMiss                // read fetch; processor stalls
+	WriteMiss               // write fetch; latency hidden
+	Upgrade                 // write found line SHARED; ownership only
+	MergeMiss               // read found line pending; stalls until fill returns
+	WriteMerge              // write found a pending write fill; folded in
+)
+
+// String names the miss class as in the paper.
+func (c Class) String() string {
+	switch c {
+	case Hit:
+		return "HIT"
+	case ReadMiss:
+		return "READ"
+	case WriteMiss:
+		return "WRITE"
+	case Upgrade:
+		return "UPGRADE"
+	case MergeMiss:
+		return "MERGE"
+	case WriteMerge:
+		return "WRITE_MERGE"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Hops classifies where a miss was satisfied, for latency and profiling.
+type Hops uint8
+
+const (
+	HopNone         Hops = iota
+	HopLocalClean        // local home, clean: 30 cycles
+	HopLocalDirty        // local home, dirty remote: 100 cycles
+	HopRemoteClean       // remote home, clean (or dirty at the home itself): 100 cycles
+	HopRemoteDirty       // remote home, dirty third party: 150 cycles
+	HopIntraCluster      // satisfied inside the cluster over the snoopy bus (shared-memory clusters)
+)
+
+// String names the service location.
+func (h Hops) String() string {
+	switch h {
+	case HopNone:
+		return "none"
+	case HopLocalClean:
+		return "local-clean"
+	case HopLocalDirty:
+		return "local-dirty"
+	case HopRemoteClean:
+		return "remote-clean"
+	case HopRemoteDirty:
+		return "remote-dirty"
+	case HopIntraCluster:
+		return "intra-cluster"
+	}
+	return fmt.Sprintf("Hops(%d)", uint8(h))
+}
+
+func (l Latencies) of(h Hops) Clock {
+	switch h {
+	case HopLocalClean:
+		return l.LocalClean
+	case HopLocalDirty:
+		return l.LocalDirty
+	case HopRemoteClean:
+		return l.RemoteClean
+	case HopRemoteDirty:
+		return l.RemoteDirty
+	}
+	return 0
+}
+
+// Access is the outcome of one memory reference.
+type Access struct {
+	Class Class
+	Hops  Hops
+	Stall Clock // read stall beyond the issue cycle; 0 for hits and writes
+}
+
+// MemoryModel is the interface between the processors and a memory
+// system organisation. Two implementations exist: System (the paper's
+// shared-cache clusters) and MemClusterSystem (Section 2's shared-main-
+// memory clusters with per-processor caches on a snoopy bus).
+type MemoryModel interface {
+	// Read simulates a load by processor proc (in cluster) at time now.
+	Read(proc, cluster int, addr memory.Addr, now Clock) Access
+	// Write simulates a store by processor proc at time now.
+	Write(proc, cluster int, addr memory.Addr, now Clock) Access
+	// ClusterStats returns one cluster's protocol counters.
+	ClusterStats(cluster int) Stats
+	// ResetStats zeroes the protocol counters.
+	ResetStats()
+	// CheckInvariants audits internal consistency at time now.
+	CheckInvariants(now Clock) error
+	// LineBytes returns the coherence granularity.
+	LineBytes() uint64
+}
+
+// Stats holds per-cluster protocol event counters.
+type Stats struct {
+	InvalidationsSent     uint64 // invalidation messages this cluster caused
+	InvalidationsReceived uint64 // lines this cluster lost to invalidations
+	ReplacementHints      uint64
+	Writebacks            uint64
+}
+
+// System is the machine-wide memory system: one shared cache per cluster,
+// the directory, and the protocol connecting them.
+type System struct {
+	as          *memory.AddressSpace
+	dir         *directory.Directory
+	caches      []cache.Store
+	lat         Latencies
+	lineShift   uint
+	numClusters int
+	clusterStat []Stats
+
+	// disableHints suppresses replacement hints (ablation): the
+	// directory keeps stale sharer bits for silently dropped clean
+	// lines, so writers send spurious invalidations.
+	disableHints bool
+}
+
+// NewSystem builds the memory system with fully associative cluster
+// caches, as the paper's main study uses. cacheLines is the per-cluster
+// capacity in lines (0 = infinite); lineBytes must be a power of two.
+func NewSystem(as *memory.AddressSpace, numClusters, cacheLines int, lineBytes uint64,
+	lat Latencies, policy cache.ReplacePolicy) (*System, error) {
+	return NewSystemAssoc(as, numClusters, cacheLines, 0, lineBytes, lat, policy)
+}
+
+// NewSystemAssoc builds the memory system with ways-associative cluster
+// caches (ways = 0 selects fully associative) — the limited-associativity
+// configuration the paper defers to future work.
+func NewSystemAssoc(as *memory.AddressSpace, numClusters, cacheLines, ways int, lineBytes uint64,
+	lat Latencies, policy cache.ReplacePolicy) (*System, error) {
+	if numClusters != as.NumClusters() {
+		return nil, fmt.Errorf("coherence: %d clusters but address space has %d",
+			numClusters, as.NumClusters())
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("coherence: line size %d must be a power of two", lineBytes)
+	}
+	dir, err := directory.New(numClusters)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		as:          as,
+		dir:         dir,
+		lat:         lat,
+		lineShift:   uint(bits.TrailingZeros64(lineBytes)),
+		numClusters: numClusters,
+		clusterStat: make([]Stats, numClusters),
+	}
+	s.caches = make([]cache.Store, numClusters)
+	for i := range s.caches {
+		if ways == 0 {
+			s.caches[i] = cache.New(cacheLines, policy)
+			continue
+		}
+		sa, err := cache.NewSetAssoc(cacheLines, ways, policy)
+		if err != nil {
+			return nil, err
+		}
+		s.caches[i] = sa
+	}
+	return s, nil
+}
+
+// DisableReplacementHints turns off the paper's replacement hints, for
+// the ablation benchmark. Call before simulation starts.
+func (s *System) DisableReplacementHints() { s.disableHints = true }
+
+// LineBytes returns the coherence granularity.
+func (s *System) LineBytes() uint64 { return 1 << s.lineShift }
+
+// LineOf returns the line number containing addr.
+func (s *System) LineOf(addr memory.Addr) uint64 { return addr >> s.lineShift }
+
+// Cache returns cluster's cache, for inspection.
+func (s *System) Cache(cluster int) cache.Store { return s.caches[cluster] }
+
+// Directory returns the directory, for inspection.
+func (s *System) Directory() *directory.Directory { return s.dir }
+
+// ClusterStats returns protocol counters for one cluster.
+func (s *System) ClusterStats(cluster int) Stats { return s.clusterStat[cluster] }
+
+// ResetStats zeroes the per-cluster protocol counters (cache and
+// directory contents are untouched). Used when measurement begins after
+// an application's initialization phase.
+func (s *System) ResetStats() {
+	for i := range s.clusterStat {
+		s.clusterStat[i] = Stats{}
+	}
+}
+
+// Read simulates a read by a processor in cluster at time now. The proc
+// argument exists to satisfy MemoryModel; shared-cache clusters do not
+// distinguish processors within a cluster.
+func (s *System) Read(proc, cluster int, addr memory.Addr, now Clock) Access {
+	s.checkAccess(cluster, addr)
+	line := s.LineOf(addr)
+	c := s.caches[cluster]
+	if l := c.Lookup(line, now); l != nil {
+		c.Touch(l)
+		if l.Pending {
+			return Access{Class: MergeMiss, Stall: l.ReadyAt - now}
+		}
+		return Access{Class: Hit}
+	}
+
+	home := s.as.HomeOf(addr)
+	e := s.dir.Lookup(line)
+	var hops Hops
+	if e.State == directory.Exclusive {
+		owner := e.Owner()
+		if owner == cluster {
+			panic(fmt.Sprintf("coherence: cluster %d misses on line %#x it owns exclusively", cluster, line))
+		}
+		// Cache-to-cache transfer: the owner keeps a shared copy.
+		s.caches[owner].Downgrade(line)
+		s.dir.Downgrade(line)
+		switch {
+		case cluster == home:
+			hops = HopLocalDirty
+		case owner == home:
+			hops = HopRemoteClean // two hops: the home itself holds the dirty data
+		default:
+			hops = HopRemoteDirty
+		}
+	} else {
+		if cluster == home {
+			hops = HopLocalClean
+		} else {
+			hops = HopRemoteClean
+		}
+	}
+	lat := s.lat.of(hops)
+	s.dir.AddSharer(line, cluster)
+	s.insert(cluster, line, cache.Shared, now, now+lat)
+	return Access{Class: ReadMiss, Hops: hops, Stall: lat}
+}
+
+// Write simulates a write by a processor in cluster at time now. Writes
+// never stall (store buffers + relaxed consistency), but they move lines
+// to EXCLUSIVE, invalidating other copies instantaneously.
+func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
+	s.checkAccess(cluster, addr)
+	line := s.LineOf(addr)
+	c := s.caches[cluster]
+	if l := c.Lookup(line, now); l != nil {
+		c.Touch(l)
+		if l.Pending {
+			if l.FillState == cache.Exclusive {
+				// Folded into the outstanding write miss.
+				return Access{Class: WriteMerge}
+			}
+			// Write to an in-flight read fill: upgrade the fill.
+			s.invalidateOthers(line, cluster)
+			l.FillState = cache.Exclusive
+			s.dir.SetExclusive(line, cluster)
+			return Access{Class: Upgrade}
+		}
+		switch l.State {
+		case cache.Exclusive:
+			return Access{Class: Hit}
+		case cache.Shared:
+			s.invalidateOthers(line, cluster)
+			l.State = cache.Exclusive
+			s.dir.SetExclusive(line, cluster)
+			return Access{Class: Upgrade}
+		}
+	}
+
+	home := s.as.HomeOf(addr)
+	e := s.dir.Lookup(line)
+	var hops Hops
+	if e.State == directory.Exclusive {
+		owner := e.Owner()
+		switch {
+		case cluster == home:
+			hops = HopLocalDirty
+		case owner == home:
+			hops = HopRemoteClean
+		default:
+			hops = HopRemoteDirty
+		}
+	} else {
+		if cluster == home {
+			hops = HopLocalClean
+		} else {
+			hops = HopRemoteClean
+		}
+	}
+	s.invalidateOthers(line, cluster)
+	s.dir.SetExclusive(line, cluster)
+	s.insert(cluster, line, cache.Exclusive, now, now+s.lat.of(hops))
+	// Stall carries the fetch latency for the blocking-writes ablation;
+	// with the paper's store-buffer assumption the processor ignores it.
+	return Access{Class: WriteMiss, Hops: hops, Stall: s.lat.of(hops)}
+}
+
+// insert installs a pending fill, handling the victim's directory traffic.
+func (s *System) insert(cluster int, line uint64, fill cache.State, now, readyAt Clock) {
+	victim, evicted := s.caches[cluster].Insert(line, fill, now, readyAt)
+	if !evicted {
+		return
+	}
+	switch victim.State {
+	case cache.Shared:
+		if s.disableHints {
+			return // silent drop: the directory keeps a stale sharer bit
+		}
+		s.dir.ReplacementHint(victim.Tag, cluster)
+		s.clusterStat[cluster].ReplacementHints++
+	case cache.Exclusive:
+		s.dir.Writeback(victim.Tag, cluster)
+		s.clusterStat[cluster].Writebacks++
+	}
+}
+
+// invalidateOthers removes every copy of line outside cluster, updating
+// the directory and the invalidation counters.
+func (s *System) invalidateOthers(line uint64, cluster int) {
+	mask := s.dir.ClearAll(line)
+	mask &^= 1 << uint(cluster)
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		mask &^= 1 << uint(j)
+		s.caches[j].Invalidate(line)
+		s.clusterStat[j].InvalidationsReceived++
+		s.clusterStat[cluster].InvalidationsSent++
+	}
+}
+
+func (s *System) checkAccess(cluster int, addr memory.Addr) {
+	if cluster < 0 || cluster >= s.numClusters {
+		panic(fmt.Sprintf("coherence: access from invalid cluster %d", cluster))
+	}
+	if !s.as.Mapped(addr) {
+		if r, ok := s.as.RegionOf(addr); ok {
+			panic(fmt.Sprintf("coherence: access to %#x inside padding of region %q", addr, r.Name))
+		}
+		panic(fmt.Sprintf("coherence: access to unallocated address %#x", addr))
+	}
+}
+
+// CheckInvariants audits the agreement between caches and directory at
+// time now. Used by integration tests after every run.
+func (s *System) CheckInvariants(now Clock) error {
+	// Directory view: for each entry, the sharer set must exactly match
+	// the caches that hold the line, and an EXCLUSIVE entry must have one
+	// owner whose cached copy is (or will settle) EXCLUSIVE.
+	var err error
+	s.dir.ForEach(func(line uint64, e directory.Entry) {
+		if err != nil {
+			return
+		}
+		for cl := 0; cl < s.numClusters; cl++ {
+			l := s.caches[cl].Lookup(line, now)
+			if e.Has(cl) != (l != nil) {
+				// Without replacement hints a directory bit may outlive
+				// the cached copy, but never the other way around.
+				if !(s.disableHints && e.Has(cl) && l == nil) {
+					err = fmt.Errorf("line %#x: directory bit for cluster %d is %v but cache residency is %v",
+						line, cl, e.Has(cl), l != nil)
+					return
+				}
+			}
+			if l == nil {
+				continue
+			}
+			st := l.State
+			if l.Pending {
+				st = l.FillState
+			}
+			switch e.State {
+			case directory.Exclusive:
+				if st != cache.Exclusive {
+					err = fmt.Errorf("line %#x: directory EXCLUSIVE but cluster %d caches it %v", line, cl, st)
+				}
+			case directory.Shared:
+				if st != cache.Shared {
+					err = fmt.Errorf("line %#x: directory SHARED but cluster %d caches it %v", line, cl, st)
+				}
+			}
+		}
+		if e.State == directory.Exclusive && e.NumSharers() != 1 {
+			err = fmt.Errorf("line %#x: EXCLUSIVE with %d sharers", line, e.NumSharers())
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Cache view: every resident line must be known to the directory.
+	for cl := 0; cl < s.numClusters; cl++ {
+		cl := cl
+		s.caches[cl].ForEach(func(l *cache.Line) {
+			if err != nil {
+				return
+			}
+			e := s.dir.Lookup(l.Tag)
+			if !e.Has(cl) {
+				err = fmt.Errorf("cluster %d caches line %#x unknown to the directory", cl, l.Tag)
+			}
+		})
+	}
+	return err
+}

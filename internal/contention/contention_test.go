@@ -1,0 +1,163 @@
+package contention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/core"
+	"clustersim/internal/stats"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// TestTable4Values checks the paper's published conflict probabilities.
+func TestTable4Values(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{1, 1, 0.0},
+		{2, 8, 0.125},
+		{4, 16, 0.176},
+		{8, 32, 0.199},
+	}
+	for _, c := range cases {
+		got := ConflictProbability(c.n, c.m)
+		if !almost(got, c.want, 0.0105) {
+			t.Errorf("C(n=%d,m=%d) = %.4f, want ≈%.3f", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBanksProvisioning(t *testing.T) {
+	want := map[int]int{1: 1, 2: 8, 4: 16, 8: 32}
+	for n, m := range want {
+		if got := Banks(n); got != m {
+			t.Errorf("Banks(%d) = %d, want %d", n, got, m)
+		}
+	}
+}
+
+func TestClusterConflictMatchesTable4(t *testing.T) {
+	want := map[int]float64{1: 0, 2: 0.125, 4: 0.176, 8: 0.199}
+	for cs, w := range want {
+		if got := ClusterConflictProbability(cs); !almost(got, w, 0.0105) {
+			t.Errorf("cluster %d: C = %.4f, want ≈%.3f", cs, got, w)
+		}
+	}
+}
+
+// Property: C increases with processors, decreases with banks, stays in [0,1).
+func TestConflictMonotonicityProperty(t *testing.T) {
+	f := func(nSeed, mSeed uint8) bool {
+		n := int(nSeed%16) + 1
+		m := int(mSeed%63) + 2
+		c := ConflictProbability(n, m)
+		if c < 0 || c >= 1 {
+			return false
+		}
+		if ConflictProbability(n+1, m) < c {
+			return false
+		}
+		if ConflictProbability(n, m+1) > c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fakeResult(clusterSize int, execTime int64, reads uint64, cpu int64) *core.Result {
+	cfg := core.DefaultConfig()
+	cfg.Procs = 64
+	cfg.ClusterSize = clusterSize
+	r := &core.Result{Config: cfg, ExecTime: execTime}
+	var p stats.Proc
+	p.Reads = reads
+	p.CPU = cpu
+	r.Procs = []stats.Proc{p}
+	return r
+}
+
+func TestLoadLatencyFactorsShape(t *testing.T) {
+	// Load density 0.3 refs/cycle with exposure 0.25:
+	// factor(L) = 1 + (L-1)*0.075.
+	res := fakeResult(1, 1000, 300, 1000)
+	f := LoadLatencyFactors(res, 0.25)
+	want := LoadFactors{1, 1.075, 1.15, 1.225}
+	for i := range f {
+		if !almost(f[i], want[i], 1e-9) {
+			t.Errorf("factor[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+	// Factors must land in the paper's observed band for realistic
+	// densities (Table 5: 1.036..1.243 at 4 cycles).
+	if f[3] < 1.05 || f[3] > 1.30 {
+		t.Errorf("4-cycle factor %v outside plausible Table 5 band", f[3])
+	}
+}
+
+func TestLoadFactorsClamp(t *testing.T) {
+	f := LoadFactors{1, 1.1, 1.2, 1.3}
+	if f.Factor(0) != 1 || f.Factor(1) != 1 {
+		t.Error("latency ≤1 should give factor 1")
+	}
+	if f.Factor(7) != 1.3 {
+		t.Error("latency >4 should clamp to the 4-cycle factor")
+	}
+	if f.Factor(3) != 1.2 {
+		t.Error("latency 3 wrong")
+	}
+}
+
+func TestZeroCPUNoNaN(t *testing.T) {
+	res := fakeResult(1, 0, 100, 0)
+	f := LoadLatencyFactors(res, 0.25)
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("factor[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestSharedCacheFactorOrdering: bigger clusters pay more (longer hit
+// times and more conflicts), and the unclustered factor is exactly the
+// 1-cycle factor.
+func TestSharedCacheFactorOrdering(t *testing.T) {
+	lf := LoadFactors{1, 1.05, 1.11, 1.17}
+	f1 := SharedCacheFactor(1, lf)
+	f2 := SharedCacheFactor(2, lf)
+	f4 := SharedCacheFactor(4, lf)
+	f8 := SharedCacheFactor(8, lf)
+	if f1 != 1 {
+		t.Errorf("F(1) = %v, want 1", f1)
+	}
+	if !(f1 < f2 && f2 < f4 && f4 < f8) {
+		t.Errorf("factors not increasing: %v %v %v %v", f1, f2, f4, f8)
+	}
+	// F(4) = (1-0.176)*factor(3) + 0.176*factor(4) ≈ 1.12
+	want := (1-ClusterConflictProbability(4))*1.11 + ClusterConflictProbability(4)*1.17
+	if !almost(f4, want, 1e-9) {
+		t.Errorf("F(4) = %v, want %v", f4, want)
+	}
+}
+
+func TestCostedRelativeTime(t *testing.T) {
+	lf := LoadFactors{1, 1.05, 1.11, 1.17}
+	base := fakeResult(1, 1000, 0, 0)
+	clus := fakeResult(4, 900, 0, 0)
+	got := CostedRelativeTime(clus, base, lf)
+	want := 0.9 * SharedCacheFactor(4, lf)
+	if !almost(got, want, 1e-9) {
+		t.Fatalf("relative = %v, want %v", got, want)
+	}
+	// An equal-time clustered run must come out strictly worse than the
+	// base once costs are applied — the paper's Table 7 LU behaviour.
+	eq := fakeResult(8, 1000, 0, 0)
+	if CostedRelativeTime(eq, base, lf) <= 1 {
+		t.Error("costs should make equal-time clustering worse than 1.0")
+	}
+}

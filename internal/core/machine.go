@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersim/internal/coherence"
+	"clustersim/internal/engine"
+	"clustersim/internal/memory"
+	"clustersim/internal/stats"
+)
+
+// Machine is one simulated clustered multiprocessor. Allocate shared data
+// with Alloc/AllocLocal, create synchronisation objects, then call Run
+// exactly once with the per-processor kernel.
+type Machine struct {
+	cfg   Config
+	as    *memory.AddressSpace
+	sys   coherence.MemoryModel
+	sched *engine.Scheduler
+	procs []*Proc
+	ran   bool
+
+	// origin is the virtual time at which measurement began (see
+	// BeginMeasurement); ExecTime is reported relative to it.
+	origin Clock
+
+	// regionStats accumulates per-allocation reference profiles when
+	// profiling is enabled (see EnableRegionProfile).
+	regionStats map[string]*stats.Counters
+
+	// tracer, when set, receives the event stream (see SetTracer).
+	tracer  Tracer
+	syncIDs int
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	as, err := memory.New(cfg.PageBytes, cfg.NumClusters())
+	if err != nil {
+		return nil, err
+	}
+	as.SetPolicy(cfg.Placement)
+	var sys coherence.MemoryModel
+	switch cfg.Organization {
+	case SharedMemory:
+		bus := cfg.BusCycles
+		if bus == 0 {
+			bus = coherence.DefaultBusCycles
+		}
+		sys, err = coherence.NewMemClusterSystem(as, cfg.NumClusters(), cfg.ClusterSize,
+			cfg.CacheLinesPerProc(), cfg.Assoc, cfg.LineBytes, cfg.Latencies, bus, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DisableReplacementHints {
+			return nil, fmt.Errorf("core: replacement hints do not apply to shared-memory clusters")
+		}
+	default:
+		sc, err := coherence.NewSystemAssoc(as, cfg.NumClusters(), cfg.CacheLinesPerCluster(),
+			cfg.Assoc, cfg.LineBytes, cfg.Latencies, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DisableReplacementHints {
+			sc.DisableReplacementHints()
+		}
+		sys = sc
+	}
+	m := &Machine{cfg: cfg, as: as, sys: sys}
+	if cfg.ProfileRegions {
+		m.EnableRegionProfile()
+	}
+	if cfg.Tracer != nil {
+		m.SetTracer(cfg.Tracer)
+	}
+	m.sched = engine.NewScheduler(cfg.Procs, cfg.Quantum)
+	m.procs = make([]*Proc, cfg.Procs)
+	for i, pe := range m.sched.PEs() {
+		m.procs[i] = &Proc{pe: pe, m: m, cluster: cfg.ClusterOf(i)}
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// EnableRegionProfile turns on per-allocation reference profiling: every
+// reference is attributed to the named region containing its address, so
+// results report which data structures miss — the style of analysis the
+// paper uses when it attributes Radix's merges to "the shared
+// histograms". Costs one region lookup per reference; off by default.
+func (m *Machine) EnableRegionProfile() {
+	m.regionStats = make(map[string]*stats.Counters)
+}
+
+// regionCounters returns the profile bucket for addr, or nil when
+// profiling is off.
+func (m *Machine) regionCounters(addr Addr) *stats.Counters {
+	if m.regionStats == nil {
+		return nil
+	}
+	r, ok := m.as.RegionOf(addr)
+	if !ok {
+		return nil
+	}
+	c := m.regionStats[r.Name]
+	if c == nil {
+		c = &stats.Counters{}
+		m.regionStats[r.Name] = c
+	}
+	return c
+}
+
+// Alloc reserves size bytes of shared memory; pages are homed round-robin
+// at first touch, as in the paper.
+func (m *Machine) Alloc(size uint64, name string) Addr {
+	if m.tracer != nil {
+		m.tracer.DefineRegion(name, size)
+	}
+	return m.as.Alloc(size, name)
+}
+
+// AllocLocal reserves size bytes homed at the given processor's cluster —
+// the paper's explicit placement and local "stack" allocation.
+func (m *Machine) AllocLocal(size uint64, name string, proc int) Addr {
+	return m.as.AllocLocal(size, name, m.cfg.ClusterOf(proc))
+}
+
+// Place pins [base, base+size) to the cluster of the given processor.
+func (m *Machine) Place(base Addr, size uint64, proc int) {
+	m.as.Place(base, size, m.cfg.ClusterOf(proc))
+}
+
+// AddressSpace exposes the allocator for diagnostics.
+func (m *Machine) AddressSpace() *memory.AddressSpace { return m.as }
+
+// System exposes the memory system for inspection and invariant audits.
+func (m *Machine) System() coherence.MemoryModel { return m.sys }
+
+// BeginMeasurement starts the measured phase of a run, SPLASH-style:
+// every processor's statistics and the protocol counters are zeroed and
+// the reported execution time is counted from the calling processor's
+// current virtual time. Call it from exactly one processor while all
+// others are held at a barrier (see the apps package's Begin helper);
+// cache and directory contents are deliberately left warm, as they would
+// be on a real machine after initialization.
+func (m *Machine) BeginMeasurement(p *Proc) {
+	for _, q := range m.procs {
+		q.stats = stats.Proc{}
+	}
+	m.sys.ResetStats()
+	if m.regionStats != nil {
+		m.regionStats = make(map[string]*stats.Counters)
+	}
+	m.origin = p.Now()
+}
+
+// Run executes kernel once on every processor and returns the result.
+// A Machine runs once; build a fresh Machine per experiment point.
+func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("core: Machine.Run called twice; build a new Machine per run")
+	}
+	m.ran = true
+	err := m.sched.Run(func(pe *engine.PE) {
+		kernel(m.procs[pe.ID()])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Config:    m.cfg,
+		Procs:     make([]stats.Proc, m.cfg.Procs),
+		Finish:    make([]Clock, m.cfg.Procs),
+		Clusters:  make([]coherence.Stats, m.cfg.NumClusters()),
+		Footprint: m.as.FootprintBytes(),
+	}
+	for i, p := range m.procs {
+		res.Procs[i] = p.stats
+		res.Finish[i] = p.pe.Now() - m.origin
+		if t := res.Finish[i]; t > res.ExecTime {
+			res.ExecTime = t
+		}
+	}
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		res.Clusters[c] = m.sys.ClusterStats(c)
+	}
+	if m.regionStats != nil {
+		res.Regions = make(map[string]stats.Counters, len(m.regionStats))
+		for name, c := range m.regionStats {
+			res.Regions[name] = *c
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomProgramsProperty generates random (barrier-synchronised, so
+// deadlock-free) programs and checks machine-level invariants on both
+// cluster organisations:
+//
+//   - the run completes without error,
+//   - the accounting identity holds for every processor,
+//   - the memory system's directory/cache agreement survives,
+//   - the run is deterministic.
+func TestRandomProgramsProperty(t *testing.T) {
+	f := func(seed int64, clusterSeed, cacheSeed, orgSeed uint8) bool {
+		clusterSizes := []int{1, 2, 4}
+		cacheKBs := []int{0, 1, 4}
+		cfg := DefaultConfig()
+		cfg.Procs = 8
+		cfg.ClusterSize = clusterSizes[int(clusterSeed)%len(clusterSizes)]
+		cfg.CacheKBPerProc = cacheKBs[int(cacheSeed)%len(cacheKBs)]
+		if orgSeed%2 == 1 {
+			cfg.Organization = SharedMemory
+		}
+
+		run := func() (Clock, bool) {
+			m, err := NewMachine(cfg)
+			if err != nil {
+				return 0, false
+			}
+			a := m.Alloc(1<<15, "data")
+			bar := m.NewBarrier()
+			lk := m.NewLock("l")
+			res, err := m.Run(func(p *Proc) {
+				r := rand.New(rand.NewSource(seed + int64(p.ID())*7919))
+				for i := 0; i < 150; i++ {
+					off := uint64(r.Intn(512)) * 64
+					switch r.Intn(5) {
+					case 0:
+						p.Write(a + off)
+					case 1:
+						p.Compute(Clock(r.Intn(20)))
+					case 2:
+						lk.Acquire(p)
+						p.Read(a + off)
+						lk.Release(p)
+					default:
+						p.Read(a + off)
+					}
+					if i%30 == 29 {
+						bar.Wait(p)
+					}
+				}
+				bar.Wait(p)
+			})
+			if err != nil {
+				return 0, false
+			}
+			for i, st := range res.Procs {
+				if st.Total() != res.Finish[i] {
+					t.Logf("seed %d: P%d accounting %d != finish %d", seed, i, st.Total(), res.Finish[i])
+					return 0, false
+				}
+			}
+			if err := m.System().CheckInvariants(res.ExecTime + 1000); err != nil {
+				t.Logf("seed %d: invariants: %v", seed, err)
+				return 0, false
+			}
+			return res.ExecTime, true
+		}
+		t1, ok1 := run()
+		t2, ok2 := run()
+		return ok1 && ok2 && t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

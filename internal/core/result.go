@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"clustersim/internal/coherence"
+	"clustersim/internal/stats"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Config    Config
+	ExecTime  Clock // completion time of the slowest processor
+	Procs     []stats.Proc
+	Finish    []Clock // per-processor completion time (same origin as ExecTime)
+	Clusters  []coherence.Stats
+	Footprint uint64 // bytes of simulated memory allocated
+
+	// Regions holds per-allocation reference profiles when the machine
+	// ran with EnableRegionProfile.
+	Regions map[string]stats.Counters
+}
+
+// Aggregate sums the per-processor records.
+func (r *Result) Aggregate() stats.Proc {
+	var total stats.Proc
+	for _, p := range r.Procs {
+		total = total.Plus(p)
+	}
+	return total
+}
+
+// Fractions returns each breakdown component as a fraction of the summed
+// per-processor time, in the paper's order: CPU, load, merge, sync. The
+// paper's figures scale these fractions by the normalised execution time.
+func (r *Result) Fractions() (cpu, load, merge, sync float64) {
+	a := r.Aggregate().Breakdown
+	t := float64(a.Total())
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(a.CPU) / t, float64(a.LoadStall) / t,
+		float64(a.MergeStall) / t, float64(a.SyncWait) / t
+}
+
+// NormalizedBar expresses this run as a stacked bar of the paper's
+// figures: the total height is 100 × ExecTime/base.ExecTime, split into
+// CPU, load-stall, merge-stall and sync components.
+type NormalizedBar struct {
+	Total, CPU, Load, Merge, Sync float64
+}
+
+// Normalize builds the stacked bar of this result against a baseline run
+// (the one-processor-per-cluster configuration in the paper's figures).
+func (r *Result) Normalize(base *Result) NormalizedBar {
+	h := 100 * float64(r.ExecTime) / float64(base.ExecTime)
+	cpu, load, merge, sync := r.Fractions()
+	return NormalizedBar{
+		Total: h,
+		CPU:   h * cpu,
+		Load:  h * load,
+		Merge: h * merge,
+		Sync:  h * sync,
+	}
+}
+
+// TotalInvalidations sums invalidation messages across clusters.
+func (r *Result) TotalInvalidations() uint64 {
+	var n uint64
+	for _, c := range r.Clusters {
+		n += c.InvalidationsSent
+	}
+	return n
+}
+
+// WriteSummary prints a human-readable report of the run.
+func (r *Result) WriteSummary(w io.Writer) {
+	a := r.Aggregate()
+	cpu, load, merge, sync := r.Fractions()
+	fmt.Fprintf(w, "procs=%d cluster=%d cache/proc=%s line=%dB\n",
+		r.Config.Procs, r.Config.ClusterSize, cacheLabel(r.Config.CacheKBPerProc), r.Config.LineBytes)
+	fmt.Fprintf(w, "  exec time       %12d cycles\n", r.ExecTime)
+	fmt.Fprintf(w, "  breakdown       cpu %.1f%%  load %.1f%%  merge %.1f%%  sync %.1f%%\n",
+		100*cpu, 100*load, 100*merge, 100*sync)
+	fmt.Fprintf(w, "  references      %12d (%d reads, %d writes)\n",
+		a.References(), a.Reads, a.Writes)
+	fmt.Fprintf(w, "  read misses     %12d (%.3f%% of reads) + %d merges\n",
+		a.ReadMisses, pct(a.ReadMisses, a.Reads), a.Merges)
+	fmt.Fprintf(w, "  write misses    %12d, upgrades %d\n", a.WriteMisses, a.Upgrades)
+	fmt.Fprintf(w, "  miss service    local-clean %d  local-dirty %d  remote-clean %d  remote-dirty %d\n",
+		a.LocalClean, a.LocalDirty, a.RemoteClean, a.RemoteDirty)
+	fmt.Fprintf(w, "  invalidations   %12d\n", r.TotalInvalidations())
+	fmt.Fprintf(w, "  footprint       %12d bytes\n", r.Footprint)
+}
+
+// WriteRegionProfile prints the per-allocation reference profile,
+// ordered by read misses, if the run was profiled.
+func (r *Result) WriteRegionProfile(w io.Writer) {
+	if len(r.Regions) == 0 {
+		fmt.Fprintln(w, "  (no region profile; run with Config.ProfileRegions)")
+		return
+	}
+	names := make([]string, 0, len(r.Regions))
+	for name := range r.Regions {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := r.Regions[names[i]], r.Regions[names[j]]
+		am, bm := a.ReadMisses+a.Merges, b.ReadMisses+b.Merges
+		if am != bm {
+			return am > bm
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "  %-16s %12s %12s %10s %10s %10s\n",
+		"region", "reads", "writes", "rd misses", "merges", "upgrades")
+	for _, name := range names {
+		c := r.Regions[name]
+		fmt.Fprintf(w, "  %-16s %12d %12d %10d %10d %10d\n",
+			name, c.Reads, c.Writes, c.ReadMisses, c.Merges, c.Upgrades)
+	}
+}
+
+func pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+func cacheLabel(kb int) string {
+	if kb == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%dKB", kb)
+}

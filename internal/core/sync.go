@@ -1,0 +1,164 @@
+package core
+
+import "fmt"
+
+// waiter records a parked processor and its arrival time, for
+// synchronisation wait accounting.
+type waiter struct {
+	p       *Proc
+	arrival Clock
+}
+
+// Barrier synchronises a fixed set of processors. Every participant's
+// wait between its arrival and the last arrival is charged to its
+// synchronisation time, as in the paper's breakdowns.
+type Barrier struct {
+	name    string
+	id      int
+	m       *Machine
+	need    int
+	waiting []waiter
+}
+
+// NewBarrier creates a barrier over all processors of the machine.
+func (m *Machine) NewBarrier() *Barrier { return m.NewBarrierN("barrier", m.cfg.Procs) }
+
+// NewBarrierN creates a named barrier over n participants.
+func (m *Machine) NewBarrierN(name string, n int) *Barrier {
+	if n <= 0 || n > m.cfg.Procs {
+		panic(fmt.Sprintf("core: barrier over %d of %d processors", n, m.cfg.Procs))
+	}
+	b := &Barrier{name: name, id: m.nextSyncID(), m: m, need: n}
+	m.defineSync(EvBarrier, b.id, n)
+	return b
+}
+
+// Wait blocks p until all participants have arrived. All participants
+// resume at the virtual time of the last arrival.
+func (b *Barrier) Wait(p *Proc) {
+	p.pe.Yield()
+	b.m.traceEvent(p.ID(), EvBarrier, uint64(b.id))
+	arrival := p.pe.Now()
+	if len(b.waiting) < b.need-1 {
+		b.waiting = append(b.waiting, waiter{p, arrival})
+		p.pe.Block(fmt.Sprintf("%s (%d/%d arrived)", b.name, len(b.waiting), b.need))
+		return
+	}
+	// Last arrival: release everyone at the max arrival time.
+	release := arrival
+	for _, w := range b.waiting {
+		if w.arrival > release {
+			release = w.arrival
+		}
+	}
+	for _, w := range b.waiting {
+		w.p.stats.SyncWait += release - w.arrival
+		p.pe.Unblock(w.p.pe, release)
+	}
+	b.waiting = b.waiting[:0]
+	p.stats.SyncWait += release - arrival
+	p.pe.SetTime(release)
+}
+
+// Lock is a FIFO queueing mutex. Waiting time is charged to
+// synchronisation time.
+type Lock struct {
+	name   string
+	id     int
+	m      *Machine
+	holder *Proc
+	queue  []waiter
+}
+
+// NewLock creates a named lock.
+func (m *Machine) NewLock(name string) *Lock {
+	l := &Lock{name: name, id: m.nextSyncID(), m: m}
+	m.defineSync(EvAcquire, l.id, 0)
+	return l
+}
+
+// Acquire takes the lock, blocking while another processor holds it.
+func (l *Lock) Acquire(p *Proc) {
+	p.pe.Yield()
+	l.m.traceEvent(p.ID(), EvAcquire, uint64(l.id))
+	if l.holder == nil {
+		l.holder = p
+		return
+	}
+	l.queue = append(l.queue, waiter{p, p.pe.Now()})
+	p.pe.Block(fmt.Sprintf("lock %s (held by P%d)", l.name, l.holder.ID()))
+}
+
+// Release hands the lock to the longest-waiting processor, if any.
+func (l *Lock) Release(p *Proc) {
+	if l.holder != p {
+		panic(fmt.Sprintf("core: P%d released lock %s held by %v", p.ID(), l.name, holderID(l.holder)))
+	}
+	p.pe.Yield()
+	l.m.traceEvent(p.ID(), EvRelease, uint64(l.id))
+	if len(l.queue) == 0 {
+		l.holder = nil
+		return
+	}
+	w := l.queue[0]
+	l.queue = l.queue[1:]
+	release := p.pe.Now()
+	if w.arrival > release {
+		release = w.arrival
+	}
+	w.p.stats.SyncWait += release - w.arrival
+	l.holder = w.p
+	p.pe.Unblock(w.p.pe, release)
+}
+
+func holderID(p *Proc) interface{} {
+	if p == nil {
+		return "nobody"
+	}
+	return p.ID()
+}
+
+// Flag is a one-shot condition: waiters block until some processor sets
+// it; waits after Set return immediately.
+type Flag struct {
+	name    string
+	id      int
+	m       *Machine
+	set     bool
+	waiting []waiter
+}
+
+// NewFlag creates a named, initially clear flag.
+func (m *Machine) NewFlag(name string) *Flag {
+	f := &Flag{name: name, id: m.nextSyncID(), m: m}
+	m.defineSync(EvFlagSet, f.id, 0)
+	return f
+}
+
+// Set raises the flag, releasing all current waiters at the setter's time.
+func (f *Flag) Set(p *Proc) {
+	p.pe.Yield()
+	f.m.traceEvent(p.ID(), EvFlagSet, uint64(f.id))
+	f.set = true
+	now := p.pe.Now()
+	for _, w := range f.waiting {
+		release := now
+		if w.arrival > release {
+			release = w.arrival
+		}
+		w.p.stats.SyncWait += release - w.arrival
+		p.pe.Unblock(w.p.pe, release)
+	}
+	f.waiting = nil
+}
+
+// Wait blocks p until the flag is set.
+func (f *Flag) Wait(p *Proc) {
+	p.pe.Yield()
+	f.m.traceEvent(p.ID(), EvFlagWait, uint64(f.id))
+	if f.set {
+		return
+	}
+	f.waiting = append(f.waiting, waiter{p, p.pe.Now()})
+	p.pe.Block(fmt.Sprintf("flag %s", f.name))
+}

@@ -1,0 +1,76 @@
+package core
+
+// Event tracing. Tango-lite, the simulator the paper builds on, could
+// both drive the memory system directly (execution-driven, the mode this
+// library uses) and emit reference traces for later trace-driven
+// simulation. A Tracer attached to a Machine receives every reference,
+// compute interval and synchronisation operation in global virtual-time
+// order; the trace package serialises these streams and replays them
+// through fresh machine configurations.
+
+// EventKind classifies one traced event.
+type EventKind uint8
+
+const (
+	// EvRead is a load; Arg is the address.
+	EvRead EventKind = iota
+	// EvWrite is a store; Arg is the address.
+	EvWrite
+	// EvCompute is local work; Arg is the cycle count.
+	EvCompute
+	// EvBarrier is a barrier arrival; Arg is the barrier's sync ID.
+	EvBarrier
+	// EvAcquire is a lock acquire; Arg is the lock's sync ID.
+	EvAcquire
+	// EvRelease is a lock release; Arg is the lock's sync ID.
+	EvRelease
+	// EvFlagSet raises a flag; Arg is the flag's sync ID.
+	EvFlagSet
+	// EvFlagWait waits on a flag; Arg is the flag's sync ID.
+	EvFlagWait
+)
+
+// Event is one traced processor action.
+type Event struct {
+	Proc int32
+	Kind EventKind
+	Arg  uint64
+}
+
+// Tracer receives the event stream of a run. Calls arrive in the global
+// order the events were simulated in (the engine is sequential), from
+// the goroutine holding the execution token.
+type Tracer interface {
+	// DefineRegion announces an allocation, in allocation order, so a
+	// replay can rebuild the identical address layout.
+	DefineRegion(name string, size uint64)
+	// DefineSync announces a synchronisation object before any event
+	// references it. Participants is the barrier width (0 for locks and
+	// flags).
+	DefineSync(kind EventKind, id int, participants int)
+	// TraceEvent records one processor action.
+	TraceEvent(ev Event)
+}
+
+// SetTracer attaches a tracer; call before Run and before allocating or
+// creating synchronisation objects (Config.Tracer does this for you).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// nextSyncID hands out identities for barriers, locks and flags.
+func (m *Machine) nextSyncID() int {
+	id := m.syncIDs
+	m.syncIDs++
+	return id
+}
+
+func (m *Machine) traceEvent(proc int, kind EventKind, arg uint64) {
+	if m.tracer != nil {
+		m.tracer.TraceEvent(Event{Proc: int32(proc), Kind: kind, Arg: arg})
+	}
+}
+
+func (m *Machine) defineSync(kind EventKind, id, participants int) {
+	if m.tracer != nil {
+		m.tracer.DefineSync(kind, id, participants)
+	}
+}

@@ -1,0 +1,193 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n int) *Directory {
+	t.Helper()
+	d, err := New(n)
+	if err != nil {
+		t.Fatalf("New(%d): %v", n, err)
+	}
+	return d
+}
+
+func TestNewBounds(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d): want error", n)
+		}
+	}
+	if _, err := New(64); err != nil {
+		t.Errorf("New(64): %v", err)
+	}
+}
+
+func TestLookupAbsentIsNotCached(t *testing.T) {
+	d := mustNew(t, 8)
+	e := d.Lookup(99)
+	if e.State != NotCached || e.Sharers != 0 {
+		t.Fatalf("absent entry = %+v", e)
+	}
+}
+
+func TestSharedLifecycle(t *testing.T) {
+	d := mustNew(t, 8)
+	d.AddSharer(1, 2)
+	d.AddSharer(1, 5)
+	e := d.Lookup(1)
+	if e.State != Shared || e.NumSharers() != 2 || !e.Has(2) || !e.Has(5) {
+		t.Fatalf("entry = %+v", e)
+	}
+	d.ReplacementHint(1, 2)
+	if e := d.Lookup(1); e.NumSharers() != 1 || e.Has(2) {
+		t.Fatalf("after hint: %+v", e)
+	}
+	d.ReplacementHint(1, 5)
+	if e := d.Lookup(1); e.State != NotCached {
+		t.Fatalf("after last hint: %+v, want NOT_CACHED", e)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len = %d, want 0", d.Len())
+	}
+}
+
+func TestExclusiveLifecycle(t *testing.T) {
+	d := mustNew(t, 8)
+	d.SetExclusive(7, 3)
+	e := d.Lookup(7)
+	if e.State != Exclusive || e.Owner() != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	d.Downgrade(7)
+	e = d.Lookup(7)
+	if e.State != Shared || !e.Has(3) {
+		t.Fatalf("after downgrade: %+v", e)
+	}
+}
+
+func TestWriteback(t *testing.T) {
+	d := mustNew(t, 4)
+	d.SetExclusive(10, 1)
+	d.Writeback(10, 1)
+	if e := d.Lookup(10); e.State != NotCached {
+		t.Fatalf("after writeback: %+v", e)
+	}
+}
+
+func TestWritebackFromNonOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("writeback from non-owner did not panic")
+		}
+	}()
+	d := mustNew(t, 4)
+	d.SetExclusive(10, 1)
+	d.Writeback(10, 2)
+}
+
+func TestClearAllReturnsSharers(t *testing.T) {
+	d := mustNew(t, 8)
+	d.AddSharer(4, 0)
+	d.AddSharer(4, 6)
+	mask := d.ClearAll(4)
+	if mask != (1<<0)|(1<<6) {
+		t.Fatalf("mask = %#x", mask)
+	}
+	if e := d.Lookup(4); e.State != NotCached {
+		t.Fatalf("after ClearAll: %+v", e)
+	}
+	if d.ClearAll(4) != 0 {
+		t.Fatal("ClearAll of absent line returned sharers")
+	}
+}
+
+func TestAddSharerOnExclusivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSharer on exclusive line did not panic")
+		}
+	}()
+	d := mustNew(t, 4)
+	d.SetExclusive(1, 0)
+	d.AddSharer(1, 1)
+}
+
+func TestHintIgnoredForNonSharer(t *testing.T) {
+	d := mustNew(t, 4)
+	d.AddSharer(1, 0)
+	d.ReplacementHint(1, 3) // not a sharer: ignored
+	if e := d.Lookup(1); !e.Has(0) || e.NumSharers() != 1 {
+		t.Fatalf("entry corrupted by stray hint: %+v", e)
+	}
+	d.ReplacementHint(2, 0) // absent line: ignored
+}
+
+func TestOwnerPanicsOnShared(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner on shared entry did not panic")
+		}
+	}()
+	d := mustNew(t, 4)
+	d.AddSharer(1, 0)
+	d.Lookup(1).Owner()
+}
+
+// Property: under random legal operation sequences, the directory
+// maintains: EXCLUSIVE ⇒ exactly one sharer; SHARED ⇒ ≥1 sharer;
+// entries never linger with zero sharers.
+func TestDirectoryInvariantsProperty(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Line    uint8
+		Cluster uint8
+	}
+	f := func(ops []op) bool {
+		d, _ := New(8)
+		for _, o := range ops {
+			line := uint64(o.Line % 16)
+			cl := int(o.Cluster % 8)
+			e := d.Lookup(line)
+			switch o.Kind % 4 {
+			case 0: // read fill
+				if e.State == Exclusive {
+					d.Downgrade(line)
+				}
+				d.AddSharer(line, cl)
+			case 1: // write fill
+				d.ClearAll(line)
+				d.SetExclusive(line, cl)
+			case 2: // replacement hint, only legal for a clean sharer
+				if e.State == Shared && e.Has(cl) {
+					d.ReplacementHint(line, cl)
+				}
+			case 3: // writeback, only legal for the dirty owner
+				if e.State == Exclusive && e.Has(cl) {
+					d.Writeback(line, cl)
+				}
+			}
+		}
+		ok := true
+		d.ForEach(func(line uint64, e Entry) {
+			switch e.State {
+			case Exclusive:
+				if e.NumSharers() != 1 {
+					ok = false
+				}
+			case Shared:
+				if e.NumSharers() < 1 {
+					ok = false
+				}
+			default:
+				ok = false // NotCached entries must be deleted, not stored
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

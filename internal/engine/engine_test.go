@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSinglePERunsToCompletion(t *testing.T) {
+	s := NewScheduler(1, 0)
+	err := s.Run(func(pe *PE) {
+		pe.Advance(100)
+		pe.Yield()
+		pe.Advance(23)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Times()[0]; got != 123 {
+		t.Fatalf("final time = %d, want 123", got)
+	}
+}
+
+// TestEventOrderExact checks that with Quantum=0 shared events are observed
+// in nondecreasing virtual-time order, with ties broken by PE id.
+func TestEventOrderExact(t *testing.T) {
+	type ev struct {
+		time Clock
+		id   int
+	}
+	var log []ev
+	s := NewScheduler(4, 0)
+	err := s.Run(func(pe *PE) {
+		r := rand.New(rand.NewSource(int64(pe.ID()) + 7))
+		for i := 0; i < 200; i++ {
+			pe.Advance(Clock(r.Intn(20)))
+			pe.Yield()
+			log = append(log, ev{pe.Now(), pe.ID()})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(log) != 800 {
+		t.Fatalf("got %d events, want 800", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		a, b := log[i-1], log[i]
+		if a.time > b.time {
+			t.Fatalf("event %d at time %d after event %d at time %d", i, b.time, i-1, a.time)
+		}
+	}
+}
+
+// TestQuantumBoundsSkew checks that with Quantum=q an event is never more
+// than q cycles ahead of the minimum runnable clock at the instant it runs.
+func TestQuantumBoundsSkew(t *testing.T) {
+	const q = 50
+	s := NewScheduler(3, q)
+	bad := 0
+	err := s.Run(func(pe *PE) {
+		r := rand.New(rand.NewSource(int64(pe.ID())))
+		for i := 0; i < 300; i++ {
+			pe.Advance(Clock(r.Intn(10)))
+			pe.Yield()
+			// At this point every heap entry must be >= pe.time - q.
+			for _, other := range pe.sched.heap {
+				if other.time+q < pe.Now() {
+					bad++
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d events ran more than quantum ahead", bad)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		var b strings.Builder
+		s := NewScheduler(8, 0)
+		err := s.Run(func(pe *PE) {
+			r := rand.New(rand.NewSource(int64(pe.ID()) * 31))
+			for i := 0; i < 100; i++ {
+				pe.Advance(Clock(r.Intn(13)))
+				pe.Yield()
+				fmt.Fprintf(&b, "%d@%d;", pe.ID(), pe.Now())
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("two identical runs produced different event orders")
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	s := NewScheduler(2, 0)
+	pes := s.PEs()
+	var order []string
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 0 {
+			order = append(order, "block0")
+			pe.Block("waiting for PE 1")
+			order = append(order, "resumed0")
+			if pe.Now() != 500 {
+				t.Errorf("PE0 resumed at %d, want 500", pe.Now())
+			}
+		} else {
+			pe.Advance(500)
+			pe.Yield()
+			order = append(order, "unblock1")
+			pe.Unblock(pes[0], pe.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "block0,unblock1,resumed0"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestUnblockNeverMovesClockBackward(t *testing.T) {
+	s := NewScheduler(2, 0)
+	pes := s.PEs()
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 0 {
+			pe.Advance(1000) // blocked PE already ahead of the release time
+			pe.Yield()
+			pe.Block("wait")
+			if pe.Now() != 1000 {
+				t.Errorf("clock moved backward to %d", pe.Now())
+			}
+		} else {
+			pe.Advance(2000) // ensure PE0 blocks first
+			pe.Yield()
+			pe.Unblock(pes[0], 10)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := NewScheduler(3, 0)
+	err := s.Run(func(pe *PE) {
+		pe.Block(fmt.Sprintf("lock L%d", pe.ID()))
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(err.Error(), fmt.Sprintf("lock L%d", i)) {
+			t.Errorf("deadlock report missing PE %d reason: %v", i, err)
+		}
+	}
+}
+
+func TestPartialFinishThenDeadlock(t *testing.T) {
+	s := NewScheduler(2, 0)
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 0 {
+			return // finishes immediately
+		}
+		pe.Block("never released")
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestKernelPanicPropagates(t *testing.T) {
+	s := NewScheduler(4, 0)
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 2 {
+			panic("boom")
+		}
+		pe.Advance(10)
+		pe.Yield()
+		pe.Block("will be aborted")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "processor 2") {
+		t.Fatalf("error should name processor 2: %v", err)
+	}
+}
+
+func TestFailAborts(t *testing.T) {
+	sentinel := errors.New("app-level failure")
+	s := NewScheduler(4, 0)
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 1 {
+			pe.Fail(sentinel)
+		}
+		pe.Block("parked")
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	s := NewScheduler(1, 0)
+	err := s.Run(func(pe *PE) { pe.Advance(-1) })
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("want negative-advance error, got %v", err)
+	}
+}
+
+func TestFinishWakesRemaining(t *testing.T) {
+	// PE0 finishes early; PE1 and PE2 must keep running to completion.
+	var done int32
+	s := NewScheduler(3, 0)
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 0 {
+			return
+		}
+		for i := 0; i < 50; i++ {
+			pe.Advance(3)
+			pe.Yield()
+		}
+		atomic.AddInt32(&done, 1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+}
+
+// TestHeapOrderingProperty drives the ready heap directly with random
+// push/pop sequences and checks it always yields the (time, id) minimum.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		if len(times) > 64 {
+			times = times[:64]
+		}
+		s := NewScheduler(len(times), 0)
+		for i, tm := range times {
+			s.pes[i].time = Clock(tm)
+			s.heapPush(s.pes[i])
+		}
+		type key struct {
+			time Clock
+			id   int
+		}
+		var got []key
+		for len(s.heap) > 0 {
+			pe := s.heapPopMin()
+			got = append(got, key{pe.time, pe.id})
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].time != got[j].time {
+				return got[i].time < got[j].time
+			}
+			return got[i].id < got[j].id
+		}) {
+			return false
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTimeOnlyForward(t *testing.T) {
+	s := NewScheduler(1, 0)
+	err := s.Run(func(pe *PE) {
+		pe.Advance(100)
+		pe.SetTime(50) // must not move backward
+		if pe.Now() != 100 {
+			t.Errorf("SetTime moved clock backward to %d", pe.Now())
+		}
+		pe.SetTime(200)
+		if pe.Now() != 200 {
+			t.Errorf("SetTime failed to move forward, now %d", pe.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestUnblockNonBlockedPanics(t *testing.T) {
+	s := NewScheduler(2, 0)
+	pes := s.PEs()
+	err := s.Run(func(pe *PE) {
+		if pe.ID() == 0 {
+			pe.Advance(10)
+			pe.Yield()
+			// PE 1 is ready (not blocked): Unblock must panic, which the
+			// engine surfaces as a run error.
+			pe.Unblock(pes[1], 20)
+		} else {
+			pe.Advance(100)
+			pe.Yield()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "not blocked") {
+		t.Fatalf("want unblock-misuse error, got %v", err)
+	}
+}
+
+func TestSchedulerConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewScheduler(0, 0) },
+		func() { NewScheduler(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor accepted invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}

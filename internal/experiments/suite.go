@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the infinite-cache clustering study (Figure 2), the small
+// Ocean problem (Figure 3), the finite-capacity studies (Figures 4-8),
+// the configuration tables (1, 2), the measured working sets (Table 3),
+// the shared-cache cost model (Tables 4, 5) and the clustering-with-
+// costs results (Tables 6, 7).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+)
+
+// ClusterSizes are the paper's cluster configurations.
+var ClusterSizes = []int{1, 2, 4, 8}
+
+// FiniteCachesKB are the paper's per-processor cache sizes for
+// Figures 4-8; 0 denotes the infinite cache.
+var FiniteCachesKB = []int{4, 16, 32, 0}
+
+// Options configures a reproduction run.
+type Options struct {
+	// Procs is the machine size (the paper fixes 64).
+	Procs int
+	// Size selects problem scale (apps.SizeDefault or apps.SizePaper).
+	Size apps.Size
+	// Quantum is the engine's event-ordering slack; 0 is exact.
+	Quantum int64
+	// Out receives the printed tables; defaults to os.Stdout.
+	Out io.Writer
+	// Bars renders figures as ASCII stacked bars instead of numeric rows.
+	Bars bool
+	// CSV emits figure data as CSV rows for external plotting; takes
+	// precedence over Bars.
+	CSV bool
+}
+
+// DefaultOptions is the paper's machine at the scaled default problem
+// sizes.
+func DefaultOptions() Options {
+	return Options{Procs: 64, Size: apps.SizeDefault}
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return os.Stdout
+	}
+	return o.Out
+}
+
+func (o Options) config(clusterSize, cacheKB int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = o.Procs
+	cfg.ClusterSize = clusterSize
+	cfg.CacheKBPerProc = cacheKB
+	cfg.Quantum = o.Quantum
+	return cfg
+}
+
+type runKey struct {
+	app         string
+	clusterSize int
+	cacheKB     int
+}
+
+// Suite memoizes simulation runs so tables that share configurations
+// (e.g. Figure 4 and Table 6) simulate each point once.
+type Suite struct {
+	Opt  Options
+	runs map[runKey]*core.Result
+}
+
+// NewSuite creates a suite with the given options.
+func NewSuite(opt Options) *Suite {
+	return &Suite{Opt: opt, runs: make(map[runKey]*core.Result)}
+}
+
+// Run simulates one (application, cluster size, cache size) point,
+// memoized.
+func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) {
+	key := runKey{app, clusterSize, cacheKB}
+	if r, ok := s.runs[key]; ok {
+		return r, nil
+	}
+	w, err := registry.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.Run(s.Opt.config(clusterSize, cacheKB), s.Opt.Size)
+	if err != nil {
+		return nil, fmt.Errorf("%s cluster=%d cache=%dKB: %w", app, clusterSize, cacheKB, err)
+	}
+	s.runs[key] = res
+	return res, nil
+}
+
+// Bar is one stacked bar of a paper figure.
+type Bar struct {
+	App         string
+	ClusterSize int
+	CacheKB     int // 0 = infinite
+	core.NormalizedBar
+}
+
+// barsFor produces the bars of one application at one cache size,
+// normalized to the 1-processor-per-cluster configuration.
+func (s *Suite) barsFor(app string, cacheKB int) ([]Bar, error) {
+	base, err := s.Run(app, 1, cacheKB)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bar
+	for _, cs := range ClusterSizes {
+		res, err := s.Run(app, cs, cacheKB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Bar{App: app, ClusterSize: cs, CacheKB: cacheKB,
+			NormalizedBar: res.Normalize(base)})
+	}
+	return out, nil
+}
+
+func cacheName(kb int) string {
+	if kb == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%dk", kb)
+}
+
+func (o Options) printBars(w io.Writer, bars []Bar) {
+	if o.CSV {
+		if err := WriteBarsCSV(w, bars); err != nil {
+			fmt.Fprintln(w, "csv error:", err)
+		}
+		return
+	}
+	if o.Bars {
+		RenderBars(w, bars)
+		return
+	}
+	printBars(w, bars)
+}
+
+func printBars(w io.Writer, bars []Bar) {
+	fmt.Fprintf(w, "%-10s %-6s %-6s %8s %8s %8s %8s %8s\n",
+		"app", "cache", "clus", "total", "cpu", "load", "merge", "sync")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%-10s %-6s %-6s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			b.App, cacheName(b.CacheKB), fmt.Sprintf("%dp", b.ClusterSize),
+			b.Total, b.CPU, b.Load, b.Merge, b.Sync)
+	}
+}

@@ -1,0 +1,170 @@
+// Package memory models the shared address space of the simulated
+// machine: a bump allocator handing out page-aligned regions, and the
+// paper's page-placement policy — memory is assigned a home cluster in
+// round-robin order when a page is first touched, unless the application
+// placed it explicitly (as some SPLASH codes do) or the region is a
+// processor-local arena ("all stack references are allocated locally").
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated virtual address.
+type Addr = uint64
+
+// NoHome marks a page whose home has not been assigned yet.
+const NoHome = -1
+
+// PlacementPolicy selects how first-touched pages are homed.
+type PlacementPolicy uint8
+
+const (
+	// RoundRobin is the paper's policy: pages are homed to clusters in
+	// round-robin order of first touch.
+	RoundRobin PlacementPolicy = iota
+	// AllOnZero homes every unpinned page at cluster 0 — the ablation
+	// baseline showing what round-robin distribution buys.
+	AllOnZero
+)
+
+// Region describes one allocation, for diagnostics and miss profiling.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + r.Size }
+
+// AddressSpace is the simulated shared address space.
+type AddressSpace struct {
+	pageShift   uint
+	numClusters int
+	next        Addr  // bump pointer, page aligned
+	rrNext      int   // next cluster in the round-robin rotation
+	homes       []int // page number -> home cluster; grown on demand
+	regions     []Region
+	policy      PlacementPolicy
+}
+
+// New creates an address space distributing pages of pageBytes (a power
+// of two) across numClusters home clusters.
+func New(pageBytes uint64, numClusters int) (*AddressSpace, error) {
+	if numClusters <= 0 {
+		return nil, fmt.Errorf("memory: numClusters %d must be positive", numClusters)
+	}
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		return nil, fmt.Errorf("memory: page size %d must be a power of two", pageBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &AddressSpace{
+		pageShift:   shift,
+		numClusters: numClusters,
+		next:        pageBytes, // keep address 0 unmapped to catch stray accesses
+	}, nil
+}
+
+// SetPolicy selects the placement policy; call before simulation.
+func (as *AddressSpace) SetPolicy(p PlacementPolicy) { as.policy = p }
+
+// PageBytes returns the placement granularity.
+func (as *AddressSpace) PageBytes() uint64 { return 1 << as.pageShift }
+
+// NumClusters returns the number of home clusters.
+func (as *AddressSpace) NumClusters() int { return as.numClusters }
+
+// Alloc reserves size bytes and returns the page-aligned base address.
+// The pages are unhomed until first touch.
+func (as *AddressSpace) Alloc(size uint64, name string) Addr {
+	if size == 0 {
+		size = 1
+	}
+	base := as.next
+	pages := (size + as.PageBytes() - 1) >> as.pageShift
+	as.next += pages << as.pageShift
+	as.regions = append(as.regions, Region{Name: name, Base: base, Size: size})
+	return base
+}
+
+// AllocLocal reserves size bytes homed at the given cluster — used for
+// per-processor private data and explicitly placed application arrays.
+func (as *AddressSpace) AllocLocal(size uint64, name string, cluster int) Addr {
+	base := as.Alloc(size, name)
+	as.Place(base, size, cluster)
+	return base
+}
+
+// Place pins every page overlapping [base, base+size) to the cluster,
+// overriding round-robin first-touch assignment.
+func (as *AddressSpace) Place(base Addr, size uint64, cluster int) {
+	if cluster < 0 || cluster >= as.numClusters {
+		panic(fmt.Sprintf("memory: place on invalid cluster %d", cluster))
+	}
+	first := base >> as.pageShift
+	last := (base + size - 1) >> as.pageShift
+	as.growHomes(last)
+	for p := first; p <= last; p++ {
+		as.homes[p] = cluster
+	}
+}
+
+// HomeOf returns the home cluster of addr, assigning one round-robin if
+// this is the first touch of its page.
+func (as *AddressSpace) HomeOf(addr Addr) int {
+	p := addr >> as.pageShift
+	as.growHomes(p)
+	h := as.homes[p]
+	if h == NoHome {
+		if as.policy == AllOnZero {
+			h = 0
+		} else {
+			h = as.rrNext
+			as.rrNext++
+			if as.rrNext == as.numClusters {
+				as.rrNext = 0
+			}
+		}
+		as.homes[p] = h
+	}
+	return h
+}
+
+// Mapped reports whether addr lies inside some allocated region.
+func (as *AddressSpace) Mapped(addr Addr) bool {
+	return addr >= as.PageBytes() && addr < as.next
+}
+
+// RegionOf returns the allocation containing addr, if any.
+func (as *AddressSpace) RegionOf(addr Addr) (Region, bool) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].Base > addr
+	})
+	if i == 0 {
+		return Region{}, false
+	}
+	r := as.regions[i-1]
+	if addr < r.End() {
+		return r, true
+	}
+	// addr may fall in the page-alignment padding of the region: report
+	// it as unmapped data even though the allocator reserved the page.
+	return Region{}, false
+}
+
+// Regions returns all allocations in address order.
+func (as *AddressSpace) Regions() []Region { return as.regions }
+
+// FootprintBytes returns the total bytes reserved so far.
+func (as *AddressSpace) FootprintBytes() uint64 { return uint64(as.next) - as.PageBytes() }
+
+func (as *AddressSpace) growHomes(page uint64) {
+	for uint64(len(as.homes)) <= page {
+		as.homes = append(as.homes, NoHome)
+	}
+}

@@ -1,0 +1,209 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, page uint64, clusters int) *AddressSpace {
+	t.Helper()
+	as, err := New(page, clusters)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return as
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(4096, 0); err == nil {
+		t.Error("want error for zero clusters")
+	}
+	if _, err := New(0, 4); err == nil {
+		t.Error("want error for zero page size")
+	}
+	if _, err := New(3000, 4); err == nil {
+		t.Error("want error for non-power-of-two page size")
+	}
+}
+
+func TestAllocPageAlignedAndDisjoint(t *testing.T) {
+	as := mustNew(t, 4096, 8)
+	a := as.Alloc(100, "a")
+	b := as.Alloc(5000, "b")
+	c := as.Alloc(1, "c")
+	for _, base := range []Addr{a, b, c} {
+		if base%4096 != 0 {
+			t.Errorf("base %#x not page aligned", base)
+		}
+	}
+	if b < a+4096 {
+		t.Errorf("b=%#x overlaps a=%#x", b, a)
+	}
+	if c < b+8192 {
+		t.Errorf("c=%#x overlaps b=%#x (5000 bytes needs 2 pages)", c, b)
+	}
+	if as.Mapped(0) {
+		t.Error("address 0 must stay unmapped")
+	}
+}
+
+func TestFirstTouchRoundRobin(t *testing.T) {
+	as := mustNew(t, 4096, 4)
+	base := as.Alloc(8*4096, "grid")
+	// Touch pages in a scattered order; homes must follow touch order.
+	order := []uint64{3, 0, 5, 1}
+	for i, p := range order {
+		if h := as.HomeOf(base + p*4096); h != i%4 {
+			t.Errorf("page %d touched %dth: home %d, want %d", p, i, h, i%4)
+		}
+	}
+	// Re-touching gives the same answer.
+	if h := as.HomeOf(base + 3*4096); h != 0 {
+		t.Errorf("second touch changed home to %d", h)
+	}
+	// Same page, different offset: same home.
+	if h := as.HomeOf(base + 3*4096 + 100); h != 0 {
+		t.Errorf("offset within page changed home to %d", h)
+	}
+}
+
+func TestRoundRobinWraps(t *testing.T) {
+	as := mustNew(t, 4096, 3)
+	base := as.Alloc(7*4096, "x")
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for p, w := range want {
+		if h := as.HomeOf(base + uint64(p)*4096); h != w {
+			t.Errorf("page %d: home %d, want %d", p, h, w)
+		}
+	}
+}
+
+func TestExplicitPlacementOverridesFirstTouch(t *testing.T) {
+	as := mustNew(t, 4096, 4)
+	a := as.Alloc(2*4096, "pinned")
+	as.Place(a, 2*4096, 3)
+	if h := as.HomeOf(a); h != 3 {
+		t.Errorf("pinned page home %d, want 3", h)
+	}
+	if h := as.HomeOf(a + 4096); h != 3 {
+		t.Errorf("second pinned page home %d, want 3", h)
+	}
+	// Placement must not consume round-robin slots.
+	b := as.Alloc(4096, "free")
+	if h := as.HomeOf(b); h != 0 {
+		t.Errorf("first free touch got home %d, want 0", h)
+	}
+}
+
+func TestAllocLocal(t *testing.T) {
+	as := mustNew(t, 4096, 8)
+	for c := 0; c < 8; c++ {
+		base := as.AllocLocal(4096, "stack", c)
+		if h := as.HomeOf(base); h != c {
+			t.Errorf("local arena for cluster %d homed at %d", c, h)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	as := mustNew(t, 4096, 2)
+	a := as.Alloc(100, "alpha")
+	b := as.Alloc(200, "beta")
+	if r, ok := as.RegionOf(a + 50); !ok || r.Name != "alpha" {
+		t.Errorf("RegionOf(a+50) = %v, %v", r, ok)
+	}
+	if r, ok := as.RegionOf(b); !ok || r.Name != "beta" {
+		t.Errorf("RegionOf(b) = %v, %v", r, ok)
+	}
+	if _, ok := as.RegionOf(a + 200); ok {
+		t.Error("address in alignment padding reported as mapped region")
+	}
+	if _, ok := as.RegionOf(0); ok {
+		t.Error("address 0 reported as mapped")
+	}
+}
+
+func TestMappedBounds(t *testing.T) {
+	as := mustNew(t, 4096, 2)
+	a := as.Alloc(100, "only")
+	if !as.Mapped(a) {
+		t.Error("allocated base not mapped")
+	}
+	if as.Mapped(a + 4096) {
+		t.Error("address past allocation reported mapped")
+	}
+}
+
+// Property: allocations never overlap and HomeOf is stable and in range.
+func TestAllocatorProperties(t *testing.T) {
+	f := func(sizes []uint16, clusters uint8) bool {
+		nc := int(clusters%16) + 1
+		as, err := New(4096, nc)
+		if err != nil {
+			return false
+		}
+		type span struct{ base, end Addr }
+		var spans []span
+		for i, sz := range sizes {
+			if i >= 64 {
+				break
+			}
+			s := uint64(sz) + 1
+			b := as.Alloc(s, "r")
+			spans = append(spans, span{b, b + s})
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i].base < spans[i-1].end {
+				return false
+			}
+		}
+		for _, sp := range spans {
+			h1 := as.HomeOf(sp.base)
+			h2 := as.HomeOf(sp.base)
+			if h1 != h2 || h1 < 0 || h1 >= nc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	as := mustNew(t, 4096, 2)
+	as.Alloc(100, "a")  // 1 page
+	as.Alloc(9000, "b") // 3 pages
+	if got := as.FootprintBytes(); got != 4*4096 {
+		t.Errorf("footprint = %d, want %d", got, 4*4096)
+	}
+}
+
+func TestPlaceInvalidClusterPanics(t *testing.T) {
+	as := mustNew(t, 4096, 2)
+	a := as.Alloc(4096, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Place accepted out-of-range cluster")
+		}
+	}()
+	as.Place(a, 4096, 5)
+}
+
+func TestAllOnZeroPolicy(t *testing.T) {
+	as := mustNew(t, 4096, 4)
+	as.SetPolicy(AllOnZero)
+	a := as.Alloc(8*4096, "data")
+	for pg := uint64(0); pg < 8; pg++ {
+		if h := as.HomeOf(a + pg*4096); h != 0 {
+			t.Fatalf("page %d homed at %d under AllOnZero", pg, h)
+		}
+	}
+	// Explicit placement still wins.
+	b := as.Alloc(4096, "pinned")
+	as.Place(b, 4096, 3)
+	if h := as.HomeOf(b); h != 3 {
+		t.Fatalf("pinned page homed at %d", h)
+	}
+}

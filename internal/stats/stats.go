@@ -1,0 +1,140 @@
+// Package stats defines the execution-time and miss accounting used
+// throughout the simulator. Following the paper, each processor's
+// execution time is divided into CPU busy time, load stall time, load
+// merge stall time (waiting for a line another processor in the cluster
+// already prefetched), and synchronization wait time.
+package stats
+
+import "clustersim/internal/coherence"
+
+// Breakdown is one processor's execution-time decomposition, in cycles.
+type Breakdown struct {
+	CPU        int64 // compute plus reference issue cycles
+	LoadStall  int64 // read miss stalls
+	MergeStall int64 // read stalls merged into an outstanding fill
+	SyncWait   int64 // barrier, lock and flag waits
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() int64 {
+	return b.CPU + b.LoadStall + b.MergeStall + b.SyncWait
+}
+
+// Plus returns the component-wise sum of two breakdowns.
+func (b Breakdown) Plus(o Breakdown) Breakdown {
+	return Breakdown{
+		CPU:        b.CPU + o.CPU,
+		LoadStall:  b.LoadStall + o.LoadStall,
+		MergeStall: b.MergeStall + o.MergeStall,
+		SyncWait:   b.SyncWait + o.SyncWait,
+	}
+}
+
+// Counters tallies memory references by outcome.
+type Counters struct {
+	Reads  uint64
+	Writes uint64
+
+	ReadHits    uint64
+	WriteHits   uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+	Upgrades    uint64
+	Merges      uint64
+	WriteMerges uint64
+
+	// Service location of read and write misses (paper Table 1 rows,
+	// plus the snoopy-bus services of shared-memory clusters).
+	LocalClean   uint64
+	LocalDirty   uint64
+	RemoteClean  uint64
+	RemoteDirty  uint64
+	IntraCluster uint64
+}
+
+// Plus returns the field-wise sum of two counter sets.
+func (c Counters) Plus(o Counters) Counters {
+	return Counters{
+		Reads:        c.Reads + o.Reads,
+		Writes:       c.Writes + o.Writes,
+		ReadHits:     c.ReadHits + o.ReadHits,
+		WriteHits:    c.WriteHits + o.WriteHits,
+		ReadMisses:   c.ReadMisses + o.ReadMisses,
+		WriteMisses:  c.WriteMisses + o.WriteMisses,
+		Upgrades:     c.Upgrades + o.Upgrades,
+		Merges:       c.Merges + o.Merges,
+		WriteMerges:  c.WriteMerges + o.WriteMerges,
+		LocalClean:   c.LocalClean + o.LocalClean,
+		LocalDirty:   c.LocalDirty + o.LocalDirty,
+		RemoteClean:  c.RemoteClean + o.RemoteClean,
+		RemoteDirty:  c.RemoteDirty + o.RemoteDirty,
+		IntraCluster: c.IntraCluster + o.IntraCluster,
+	}
+}
+
+// CountRead records the outcome of a read access.
+func (c *Counters) CountRead(a coherence.Access) {
+	c.Reads++
+	switch a.Class {
+	case coherence.Hit:
+		c.ReadHits++
+	case coherence.ReadMiss:
+		c.ReadMisses++
+		c.countHops(a.Hops)
+	case coherence.MergeMiss:
+		c.Merges++
+	}
+}
+
+// CountWrite records the outcome of a write access.
+func (c *Counters) CountWrite(a coherence.Access) {
+	c.Writes++
+	switch a.Class {
+	case coherence.Hit:
+		c.WriteHits++
+	case coherence.WriteMiss:
+		c.WriteMisses++
+		c.countHops(a.Hops)
+	case coherence.Upgrade:
+		c.Upgrades++
+	case coherence.WriteMerge:
+		c.WriteMerges++
+	}
+}
+
+func (c *Counters) countHops(h coherence.Hops) {
+	switch h {
+	case coherence.HopLocalClean:
+		c.LocalClean++
+	case coherence.HopLocalDirty:
+		c.LocalDirty++
+	case coherence.HopRemoteClean:
+		c.RemoteClean++
+	case coherence.HopRemoteDirty:
+		c.RemoteDirty++
+	case coherence.HopIntraCluster:
+		c.IntraCluster++
+	}
+}
+
+// References returns the total number of memory references.
+func (c Counters) References() uint64 { return c.Reads + c.Writes }
+
+// ReadMissRate returns read misses (including merges) per read.
+func (c Counters) ReadMissRate() float64 {
+	if c.Reads == 0 {
+		return 0
+	}
+	return float64(c.ReadMisses+c.Merges) / float64(c.Reads)
+}
+
+// Proc is the complete per-processor record.
+type Proc struct {
+	Breakdown
+	Counters
+}
+
+// Plus returns the sum of two per-processor records.
+func (p Proc) Plus(o Proc) Proc {
+	return Proc{Breakdown: p.Breakdown.Plus(o.Breakdown), Counters: p.Counters.Plus(o.Counters)}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/coherence"
+)
+
+func TestBreakdownTotalAndPlus(t *testing.T) {
+	a := Breakdown{CPU: 1, LoadStall: 2, MergeStall: 3, SyncWait: 4}
+	if a.Total() != 10 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	b := a.Plus(a)
+	if b.Total() != 20 || b.CPU != 2 || b.SyncWait != 8 {
+		t.Fatalf("plus = %+v", b)
+	}
+}
+
+func TestCountRead(t *testing.T) {
+	var c Counters
+	c.CountRead(coherence.Access{Class: coherence.Hit})
+	c.CountRead(coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopRemoteDirty, Stall: 150})
+	c.CountRead(coherence.Access{Class: coherence.MergeMiss, Stall: 10})
+	if c.Reads != 3 || c.ReadHits != 1 || c.ReadMisses != 1 || c.Merges != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.RemoteDirty != 1 {
+		t.Fatalf("hops not counted: %+v", c)
+	}
+	if got := c.ReadMissRate(); got != 2.0/3.0 {
+		t.Fatalf("miss rate = %v", got)
+	}
+}
+
+func TestCountWrite(t *testing.T) {
+	var c Counters
+	c.CountWrite(coherence.Access{Class: coherence.WriteMiss, Hops: coherence.HopLocalClean})
+	c.CountWrite(coherence.Access{Class: coherence.Upgrade})
+	c.CountWrite(coherence.Access{Class: coherence.WriteMerge})
+	c.CountWrite(coherence.Access{Class: coherence.Hit})
+	if c.Writes != 4 || c.WriteMisses != 1 || c.Upgrades != 1 || c.WriteMerges != 1 || c.WriteHits != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.LocalClean != 1 {
+		t.Fatalf("hops = %+v", c)
+	}
+}
+
+func TestZeroRates(t *testing.T) {
+	var c Counters
+	if c.ReadMissRate() != 0 {
+		t.Fatal("miss rate of empty counters should be 0")
+	}
+	var b Breakdown
+	if b.Total() != 0 {
+		t.Fatal("empty breakdown total should be 0")
+	}
+}
+
+// Property: Plus is commutative and References sums reads and writes.
+func TestPlusProperty(t *testing.T) {
+	f := func(r1, w1, r2, w2 uint32) bool {
+		a := Counters{Reads: uint64(r1), Writes: uint64(w1)}
+		b := Counters{Reads: uint64(r2), Writes: uint64(w2)}
+		ab, ba := a.Plus(b), b.Plus(a)
+		return ab == ba && ab.References() == uint64(r1)+uint64(w1)+uint64(r2)+uint64(w2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraClusterCounted(t *testing.T) {
+	var c Counters
+	c.CountRead(coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopIntraCluster, Stall: 15})
+	if c.IntraCluster != 1 || c.ReadMisses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	sum := c.Plus(c)
+	if sum.IntraCluster != 2 {
+		t.Fatalf("Plus dropped IntraCluster: %+v", sum)
+	}
+}

@@ -1,0 +1,310 @@
+// Package trace captures and replays simulated reference streams —
+// the trace-driven counterpart to the library's execution-driven mode,
+// mirroring Tango-lite's two operating modes. A Collector attached to a
+// Machine records every reference, compute interval and synchronisation
+// operation; the trace can be serialised to a compact binary stream and
+// replayed through a machine with a *different* configuration (cluster
+// size, cache size, organisation).
+//
+// The standard caveat of trace-driven simulation applies and is worth
+// stating, because it is exactly why the paper's authors built an
+// execution-driven simulator: a trace fixes the interleaving decisions
+// (lock grant order, data-dependent control flow) that a real machine
+// with different timing would change. Replay is therefore a fast
+// approximation, best used for cache-capacity questions rather than
+// synchronisation studies.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clustersim/internal/core"
+)
+
+// Region describes one allocation in the traced machine, so replay can
+// rebuild an identical address layout (the allocator is a deterministic
+// bump allocator: same sizes in the same order give the same bases).
+type Region struct {
+	Name string
+	Size uint64
+}
+
+// SyncDef describes one synchronisation object of the traced run.
+type SyncDef struct {
+	Kind         core.EventKind
+	ID           int32
+	Participants int32 // barrier width; 0 for locks and flags
+}
+
+// Trace is a complete recorded run.
+type Trace struct {
+	Procs   int
+	Regions []Region
+	Syncs   []SyncDef
+	Events  []core.Event
+}
+
+// Collector implements core.Tracer, accumulating a Trace in memory.
+type Collector struct {
+	t Trace
+}
+
+// NewCollector creates a collector for a machine with procs processors.
+func NewCollector(procs int) *Collector {
+	return &Collector{t: Trace{Procs: procs}}
+}
+
+// DefineRegion implements core.Tracer.
+func (c *Collector) DefineRegion(name string, size uint64) {
+	c.t.Regions = append(c.t.Regions, Region{Name: name, Size: size})
+}
+
+// DefineSync implements core.Tracer.
+func (c *Collector) DefineSync(kind core.EventKind, id, participants int) {
+	c.t.Syncs = append(c.t.Syncs, SyncDef{Kind: kind, ID: int32(id), Participants: int32(participants)})
+}
+
+// TraceEvent implements core.Tracer.
+func (c *Collector) TraceEvent(ev core.Event) {
+	c.t.Events = append(c.t.Events, ev)
+}
+
+// Attach wires the collector to a machine; call immediately after
+// NewMachine, before any allocation (or pass the collector as
+// Config.Tracer, which attaches it at construction).
+func (c *Collector) Attach(m *core.Machine) {
+	m.SetTracer(c)
+}
+
+// Finish returns the accumulated trace. Call after Run.
+func (c *Collector) Finish() *Trace { return &c.t }
+
+var _ core.Tracer = (*Collector)(nil)
+
+const magic = "CSTR\x01"
+
+// Write serialises the trace in the package's compact binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	write := func(v interface{}) error { return binary.Write(bw, le, v) }
+	if err := write(int32(t.Procs)); err != nil {
+		return err
+	}
+	if err := write(int32(len(t.Regions))); err != nil {
+		return err
+	}
+	for _, r := range t.Regions {
+		if err := write(int32(len(r.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Name); err != nil {
+			return err
+		}
+		if err := write(r.Size); err != nil {
+			return err
+		}
+	}
+	if err := write(int32(len(t.Syncs))); err != nil {
+		return err
+	}
+	for _, s := range t.Syncs {
+		if err := write(uint8(s.Kind)); err != nil {
+			return err
+		}
+		if err := write(s.ID); err != nil {
+			return err
+		}
+		if err := write(s.Participants); err != nil {
+			return err
+		}
+	}
+	if err := write(int64(len(t.Events))); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		if err := write(ev.Proc); err != nil {
+			return err
+		}
+		if err := write(uint8(ev.Kind)); err != nil {
+			return err
+		}
+		if err := write(ev.Arg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	read := func(v interface{}) error { return binary.Read(br, le, v) }
+	t := &Trace{}
+	var procs int32
+	if err := read(&procs); err != nil {
+		return nil, err
+	}
+	t.Procs = int(procs)
+	var nRegions int32
+	if err := read(&nRegions); err != nil {
+		return nil, err
+	}
+	if nRegions < 0 || nRegions > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible region count %d", nRegions)
+	}
+	for i := int32(0); i < nRegions; i++ {
+		var nameLen int32
+		if err := read(&nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen < 0 || nameLen > 1<<16 {
+			return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		var size uint64
+		if err := read(&size); err != nil {
+			return nil, err
+		}
+		t.Regions = append(t.Regions, Region{Name: string(name), Size: size})
+	}
+	var nSyncs int32
+	if err := read(&nSyncs); err != nil {
+		return nil, err
+	}
+	if nSyncs < 0 || nSyncs > 1<<24 {
+		return nil, fmt.Errorf("trace: implausible sync count %d", nSyncs)
+	}
+	for i := int32(0); i < nSyncs; i++ {
+		var kind uint8
+		var id, participants int32
+		if err := read(&kind); err != nil {
+			return nil, err
+		}
+		if err := read(&id); err != nil {
+			return nil, err
+		}
+		if err := read(&participants); err != nil {
+			return nil, err
+		}
+		t.Syncs = append(t.Syncs, SyncDef{Kind: core.EventKind(kind), ID: id, Participants: participants})
+	}
+	var nEvents int64
+	if err := read(&nEvents); err != nil {
+		return nil, err
+	}
+	if nEvents < 0 {
+		return nil, fmt.Errorf("trace: negative event count")
+	}
+	t.Events = make([]core.Event, 0, min64(nEvents, 1<<20))
+	for i := int64(0); i < nEvents; i++ {
+		var proc int32
+		var kind uint8
+		var arg uint64
+		if err := read(&proc); err != nil {
+			return nil, err
+		}
+		if err := read(&kind); err != nil {
+			return nil, err
+		}
+		if err := read(&arg); err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, core.Event{Proc: proc, Kind: core.EventKind(kind), Arg: arg})
+	}
+	return t, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Replay runs the trace through a machine built from cfg (which must
+// have the same processor count) and returns its result. Addresses are
+// rebuilt by re-allocating the recorded regions in order.
+func Replay(cfg core.Config, t *Trace) (*core.Result, error) {
+	if cfg.Procs != t.Procs {
+		return nil, fmt.Errorf("trace: trace has %d processors, config %d", t.Procs, cfg.Procs)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t.Regions {
+		m.Alloc(r.Size, r.Name)
+	}
+	barriers := map[int32]*core.Barrier{}
+	locks := map[int32]*core.Lock{}
+	flags := map[int32]*core.Flag{}
+	for _, s := range t.Syncs {
+		switch s.Kind {
+		case core.EvBarrier:
+			barriers[s.ID] = m.NewBarrierN(fmt.Sprintf("replay-barrier-%d", s.ID), int(s.Participants))
+		case core.EvAcquire:
+			locks[s.ID] = m.NewLock(fmt.Sprintf("replay-lock-%d", s.ID))
+		case core.EvFlagSet:
+			flags[s.ID] = m.NewFlag(fmt.Sprintf("replay-flag-%d", s.ID))
+		}
+	}
+	// Split the global stream into per-processor programs.
+	perProc := make([][]core.Event, t.Procs)
+	for _, ev := range t.Events {
+		if ev.Proc < 0 || int(ev.Proc) >= t.Procs {
+			return nil, fmt.Errorf("trace: event for processor %d out of range", ev.Proc)
+		}
+		perProc[ev.Proc] = append(perProc[ev.Proc], ev)
+	}
+	var replayErr error
+	res, err := m.Run(func(p *core.Proc) {
+		for _, ev := range perProc[p.ID()] {
+			switch ev.Kind {
+			case core.EvRead:
+				p.Read(ev.Arg)
+			case core.EvWrite:
+				p.Write(ev.Arg)
+			case core.EvCompute:
+				p.Compute(core.Clock(ev.Arg))
+			case core.EvBarrier:
+				barriers[int32(ev.Arg)].Wait(p)
+			case core.EvAcquire:
+				locks[int32(ev.Arg)].Acquire(p)
+			case core.EvRelease:
+				locks[int32(ev.Arg)].Release(p)
+			case core.EvFlagSet:
+				flags[int32(ev.Arg)].Set(p)
+			case core.EvFlagWait:
+				flags[int32(ev.Arg)].Wait(p)
+			default:
+				replayErr = fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if replayErr != nil {
+		return nil, replayErr
+	}
+	return res, nil
+}

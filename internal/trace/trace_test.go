@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/core"
+)
+
+// record runs a small synthetic workload under a collector.
+func record(t *testing.T, procs, clusterSize int) *Trace {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Procs = procs
+	cfg.ClusterSize = clusterSize
+	c := NewCollector(procs)
+	cfg.Tracer = c
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Alloc(1<<14, "data")
+	bar := m.NewBarrier()
+	lock := m.NewLock("l")
+	flag := m.NewFlag("f")
+	_, err = m.Run(func(p *core.Proc) {
+		for i := 0; i < 40; i++ {
+			off := uint64((p.ID()*101+i*7)%256) * 64
+			if i%5 == 0 {
+				p.Write(data + off)
+			} else {
+				p.Read(data + off)
+			}
+			p.Compute(3)
+		}
+		bar.Wait(p)
+		lock.Acquire(p)
+		p.Write(data)
+		lock.Release(p)
+		if p.ID() == 0 {
+			flag.Set(p)
+		} else {
+			flag.Wait(p)
+		}
+		bar.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Finish()
+}
+
+func TestCollectorCaptures(t *testing.T) {
+	tr := record(t, 4, 1)
+	if tr.Procs != 4 {
+		t.Fatalf("procs = %d", tr.Procs)
+	}
+	if len(tr.Regions) == 0 || tr.Regions[0].Name != "data" {
+		t.Fatalf("regions = %+v", tr.Regions)
+	}
+	if len(tr.Syncs) != 3 {
+		t.Fatalf("syncs = %+v", tr.Syncs)
+	}
+	kinds := map[core.EventKind]int{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds[core.EvRead] != 4*32+0 { // 32 reads per proc in the loop
+		t.Errorf("reads = %d", kinds[core.EvRead])
+	}
+	if kinds[core.EvBarrier] != 8 || kinds[core.EvAcquire] != 4 || kinds[core.EvRelease] != 4 {
+		t.Errorf("sync events = %v", kinds)
+	}
+	if kinds[core.EvFlagSet] != 1 || kinds[core.EvFlagWait] != 3 {
+		t.Errorf("flag events = %v", kinds)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := record(t, 4, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != tr.Procs || len(got.Events) != len(tr.Events) ||
+		len(got.Regions) != len(tr.Regions) || len(got.Syncs) != len(tr.Syncs) {
+		t.Fatalf("shape mismatch: %d/%d events", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	for i := range tr.Regions {
+		if got.Regions[i] != tr.Regions[i] {
+			t.Fatalf("region %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace")); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("want EOF error")
+	}
+}
+
+func TestReplayMatchesOriginalConfig(t *testing.T) {
+	// Replaying a trace through the same configuration must visit the
+	// same references, hence produce identical reference counts.
+	cfg := core.DefaultConfig()
+	cfg.Procs = 4
+	cfg.ClusterSize = 2
+	tr := record(t, 4, 2)
+	res, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Aggregate()
+	var reads, writes uint64
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case core.EvRead:
+			reads++
+		case core.EvWrite:
+			writes++
+		}
+	}
+	if agg.Reads != reads || agg.Writes != writes {
+		t.Fatalf("replay refs %d/%d, trace has %d/%d", agg.Reads, agg.Writes, reads, writes)
+	}
+}
+
+func TestReplayAcrossConfigurations(t *testing.T) {
+	// The point of traces: record once, replay under different cluster
+	// sizes and cache sizes.
+	tr := record(t, 4, 1)
+	for _, cs := range []int{1, 2, 4} {
+		for _, kb := range []int{0, 1} {
+			cfg := core.DefaultConfig()
+			cfg.Procs = 4
+			cfg.ClusterSize = cs
+			cfg.CacheKBPerProc = kb
+			res, err := Replay(cfg, tr)
+			if err != nil {
+				t.Fatalf("cluster=%d cache=%d: %v", cs, kb, err)
+			}
+			if res.ExecTime <= 0 {
+				t.Fatalf("cluster=%d: empty replay", cs)
+			}
+		}
+	}
+}
+
+func TestReplayRejectsProcMismatch(t *testing.T) {
+	tr := record(t, 4, 1)
+	cfg := core.DefaultConfig()
+	cfg.Procs = 8
+	if _, err := Replay(cfg, tr); err == nil {
+		t.Fatal("want processor-count mismatch error")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr := record(t, 4, 1)
+	cfg := core.DefaultConfig()
+	cfg.Procs = 4
+	cfg.ClusterSize = 2
+	a, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecTime != b.ExecTime {
+		t.Fatalf("replay nondeterministic: %d vs %d", a.ExecTime, b.ExecTime)
+	}
+}
+
+// Property: Write/Read round-trips arbitrary small event streams.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(procsSeed uint8, events []struct {
+		Proc uint8
+		Kind uint8
+		Arg  uint32
+	}) bool {
+		tr := &Trace{Procs: int(procsSeed%16) + 1}
+		for _, e := range events {
+			tr.Events = append(tr.Events, core.Event{
+				Proc: int32(e.Proc),
+				Kind: core.EventKind(e.Kind % 8),
+				Arg:  uint64(e.Arg),
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Procs != tr.Procs || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
