@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments paper examples clean
+.PHONY: all build vet test test-short race bench experiments paper examples clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The engine's token-passing design must be race-clean; CI runs this on
+# every PR (.github/workflows/ci.yml).
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
@@ -35,6 +40,7 @@ examples:
 	$(GO) run ./examples/workingsets
 	$(GO) run ./examples/costmodel
 	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/telemetry
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,14 @@
 //	clustersim -app ocean -procs 64 -cluster 4 -cache 16 -size default
 //
 // -cache 0 simulates infinite caches (the paper's Figure 2 setting).
+//
+// Observability flags (see README "Observability"):
+//
+//	-trace out.json   write a Chrome trace-event file (open at
+//	                  ui.perfetto.dev; 1 cycle = 1 µs of trace time)
+//	-json             print a JSON run manifest instead of the text report
+//	-sample N         sample per-cluster counter deltas every N cycles
+//	-progress         stream sampling progress to stderr
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +40,11 @@ func main() {
 		quantum = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
 		profile = flag.Bool("profile", false, "attribute references to named allocations")
 		org     = flag.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto)")
+		jsonOut  = flag.Bool("json", false, "print a JSON run manifest instead of the text report")
+		sample   = flag.Int64("sample", 0, "telemetry sampling interval in cycles (0 = off)")
+		progress = flag.Bool("progress", false, "stream sampling progress to stderr")
 	)
 	flag.Parse()
 
@@ -57,6 +71,26 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown organization %q", *org))
 	}
+
+	if *sample < 0 {
+		fatal(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
+	}
+
+	// Any observability flag attaches a collector; -progress without an
+	// explicit interval gets a coarse default grid.
+	var col *telemetry.Collector
+	if *traceOut != "" || *jsonOut || *sample > 0 || *progress {
+		col = telemetry.New()
+		if *progress && *sample == 0 {
+			*sample = 1_000_000
+		}
+		if *progress {
+			col.SetProgress(os.Stderr, *app)
+		}
+		cfg.Telemetry = col
+		cfg.SampleEvery = *sample
+	}
+
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -64,12 +98,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, col, *app, sz.String(), cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clustersim: wrote trace to %s (open at ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *jsonOut {
+		if err := telemetry.WriteManifest(os.Stdout, telemetry.Manifest{
+			App:       *app,
+			Size:      sz.String(),
+			Config:    cfg,
+			Result:    res,
+			Telemetry: col.SelfReport(),
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("%s (%s size)\n", w.Name, sz)
 	res.WriteSummary(os.Stdout)
 	if *profile {
 		fmt.Println("region profile:")
 		res.WriteRegionProfile(os.Stdout)
 	}
+}
+
+func writeTrace(path string, col *telemetry.Collector, app, size string, cfg core.Config) error {
+	hash, err := telemetry.HashConfig(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.WriteChromeTrace(f, col, map[string]string{
+		"app": app, "size": size, "configHash": hash,
+	})
 }
 
 func parseSize(s string) (apps.Size, error) {

@@ -24,11 +24,15 @@ import (
 
 func main() {
 	var (
-		procs   = flag.Int("procs", 64, "total processors")
-		size    = flag.String("size", "default", "problem size: test, default or paper")
-		quantum = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
-		bars    = flag.Bool("bars", false, "render figures as ASCII stacked bars")
-		csvOut  = flag.Bool("csv", false, "emit figure data as CSV rows")
+		procs    = flag.Int("procs", 64, "total processors")
+		size     = flag.String("size", "default", "problem size: test, default or paper")
+		quantum  = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
+		bars     = flag.Bool("bars", false, "render figures as ASCII stacked bars")
+		csvOut   = flag.Bool("csv", false, "emit figure data as CSV rows")
+		progress = flag.Bool("progress", false, "log each completed simulation point to stderr")
+		sample   = flag.Int64("sample", 0, "telemetry sampling interval in cycles (0 = off)")
+		traceDir = flag.String("trace", "", "write one Chrome trace-event JSON per run into this directory")
+		jsonOut  = flag.String("json", "", "append one JSON run manifest per line (JSONL) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -36,11 +40,27 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *sample < 0 {
+		fatal(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
+	}
 	opt := experiments.DefaultOptions()
 	opt.Procs = *procs
 	opt.Quantum = *quantum
 	opt.Bars = *bars
 	opt.CSV = *csvOut
+	opt.SampleEvery = *sample
+	opt.TraceDir = *traceDir
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+	if *jsonOut != "" {
+		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opt.ManifestOut = f
+	}
 	switch *size {
 	case "test":
 		opt.Size = apps.SizeTest

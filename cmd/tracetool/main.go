@@ -14,16 +14,24 @@
 // Trace-driven replay fixes the original interleaving, so it is a fast
 // approximation best suited to cache-capacity questions; see the trace
 // package documentation.
+//
+// Summarize a telemetry trace (the Chrome trace-event files written by
+// clustersim -trace and experiments -trace):
+//
+//	tracetool telemetry -i out.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/telemetry"
 	"clustersim/internal/trace"
 )
 
@@ -36,14 +44,65 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "telemetry":
+		telemetrySummary(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool record|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool record|replay|telemetry [flags]")
 	os.Exit(2)
+}
+
+// telemetrySummary digests a Chrome trace-event file written by the
+// telemetry exporter (clustersim -trace / experiments -trace):
+//
+//	tracetool telemetry -i out.json
+func telemetrySummary(args []string) {
+	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+	in := fs.String("i", "out.json", "input Chrome trace-event JSON file")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sum, err := telemetry.SummarizeChromeTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d events, %d PE tracks, horizon %d cycles\n",
+		*in, sum.Events, sum.PEs, sum.LastTs)
+	if len(sum.OtherData) > 0 {
+		keys := make([]string, 0, len(sum.OtherData))
+		for k := range sum.OtherData {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-12s %s\n", k, sum.OtherData[k])
+		}
+	}
+	var kinds []string
+	var total int64
+	for k, v := range sum.ByKind {
+		kinds = append(kinds, k)
+		total += v
+	}
+	sort.Strings(kinds)
+	fmt.Println("PE cycles by state:")
+	for _, k := range kinds {
+		v := sum.ByKind[k]
+		fmt.Printf("  %-12s %14d cycles (%5.1f%%)\n", k, v, 100*float64(v)/float64(total))
+	}
+	fmt.Printf("sync episodes:   %d\n", sum.SyncWaits)
+	fmt.Printf("counter samples: %d\n", sum.Counters)
+	if len(sum.Marks) > 0 {
+		fmt.Printf("marks:           %s\n", strings.Join(sum.Marks, ", "))
+	}
 }
 
 func record(args []string) {

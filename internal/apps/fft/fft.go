@@ -28,7 +28,9 @@ type Params struct {
 func ParamsFor(size apps.Size) Params {
 	switch size {
 	case apps.SizeTest:
-		return Params{M: 8} // 256 points
+		// 4096 points: the smallest even-M size whose 64 matrix rows
+		// admit the default 64-processor machine.
+		return Params{M: 12}
 	case apps.SizePaper:
 		return Params{M: 16} // 65536 points
 	default:

@@ -24,6 +24,7 @@ import (
 	"clustersim/internal/cache"
 	"clustersim/internal/coherence"
 	"clustersim/internal/memory"
+	"clustersim/internal/telemetry"
 )
 
 // Clock counts simulated cycles.
@@ -125,8 +126,21 @@ type Config struct {
 
 	// Tracer, when non-nil, receives the run's event stream (see the
 	// trace package). Attached at machine construction so allocations
-	// and synchronisation objects are announced.
-	Tracer Tracer
+	// and synchronisation objects are announced. Excluded from the JSON
+	// manifest: it does not affect simulated behaviour.
+	Tracer Tracer `json:"-"`
+
+	// Telemetry, when non-nil, receives the run's observability stream:
+	// per-processor execution-state slices, coherence events, sync
+	// episodes and scheduler self-metrics (see the telemetry package).
+	// Excluded from the JSON manifest and the config hash.
+	Telemetry *telemetry.Collector `json:"-"`
+
+	// SampleEvery, when positive and Telemetry is attached, snapshots
+	// per-cluster counter deltas every SampleEvery simulated cycles
+	// into the collector's time series. Purely observational, so it is
+	// excluded from the config hash.
+	SampleEvery Clock `json:"-"`
 
 	// BlockingWrites makes stores stall for their fetch latency —
 	// disabling the paper's assumption that "the latency of WRITE and
@@ -180,6 +194,12 @@ func (c Config) Validate() error {
 	}
 	if c.Quantum < 0 {
 		return fmt.Errorf("core: negative Quantum")
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("core: negative SampleEvery")
+	}
+	if c.SampleEvery > 0 && c.Telemetry == nil {
+		return fmt.Errorf("core: SampleEvery set without a Telemetry collector")
 	}
 	if c.BusCycles < 0 {
 		return fmt.Errorf("core: negative BusCycles")

@@ -7,6 +7,7 @@ import (
 	"clustersim/internal/engine"
 	"clustersim/internal/memory"
 	"clustersim/internal/stats"
+	"clustersim/internal/telemetry"
 )
 
 // Machine is one simulated clustered multiprocessor. Allocate shared data
@@ -31,6 +32,11 @@ type Machine struct {
 	// tracer, when set, receives the event stream (see SetTracer).
 	tracer  Tracer
 	syncIDs int
+
+	// tel, when set, receives the observability stream (Config.Telemetry);
+	// nextSample is the next interval-sampler deadline.
+	tel        *telemetry.Collector
+	nextSample Clock
 }
 
 // NewMachine builds a machine from cfg.
@@ -80,6 +86,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.procs = make([]*Proc, cfg.Procs)
 	for i, pe := range m.sched.PEs() {
 		m.procs[i] = &Proc{pe: pe, m: m, cluster: cfg.ClusterOf(i)}
+	}
+	if cfg.Telemetry != nil {
+		m.tel = cfg.Telemetry
+		m.tel.Start(cfg.Procs, cfg.NumClusters())
+		m.sched.SetProbe(m.tel)
+		if cfg.SampleEvery > 0 {
+			m.nextSample = cfg.SampleEvery
+		}
 	}
 	return m, nil
 }
@@ -156,6 +170,35 @@ func (m *Machine) BeginMeasurement(p *Proc) {
 		m.regionStats = make(map[string]*stats.Counters)
 	}
 	m.origin = p.Now()
+	if m.tel != nil {
+		m.tel.NoteStatsReset(m.origin)
+	}
+}
+
+// maybeSample feeds the telemetry interval sampler once the virtual
+// clock crosses the next SampleEvery boundary. Called from the
+// reference hot path, so the common case is two compares.
+func (m *Machine) maybeSample(now Clock) {
+	if m.nextSample == 0 || now < m.nextSample {
+		return
+	}
+	m.snapshotSample(now)
+	for m.nextSample <= now {
+		m.nextSample += m.cfg.SampleEvery
+	}
+}
+
+// snapshotSample hands the cumulative per-cluster counters to the
+// collector, which stores the interval delta.
+func (m *Machine) snapshotSample(now Clock) {
+	cum := make([]telemetry.ClusterSample, m.cfg.NumClusters())
+	for _, p := range m.procs {
+		cum[p.cluster].Refs = cum[p.cluster].Refs.Plus(p.stats.Counters)
+	}
+	for c := range cum {
+		cum[c].Coh = m.sys.ClusterStats(c)
+	}
+	m.tel.Sample(now, cum)
 }
 
 // Run executes kernel once on every processor and returns the result.
@@ -170,6 +213,18 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if m.tel != nil {
+		var last Clock
+		for _, p := range m.procs {
+			if t := p.pe.Now(); t > last {
+				last = t
+			}
+			m.tel.ClosePE(p.ID())
+		}
+		if m.cfg.SampleEvery > 0 {
+			m.snapshotSample(last) // close the final partial interval
+		}
 	}
 	res := &Result{
 		Config:    m.cfg,

@@ -4,6 +4,7 @@ import (
 	"clustersim/internal/coherence"
 	"clustersim/internal/engine"
 	"clustersim/internal/stats"
+	"clustersim/internal/telemetry"
 )
 
 // Proc is one simulated processor, passed to the application kernel. All
@@ -33,9 +34,13 @@ func (p *Proc) Machine() *Machine { return p.m }
 // Compute models cycles of processor-local work (register arithmetic,
 // private-stack traffic) between shared-memory references.
 func (p *Proc) Compute(cycles Clock) {
+	start := p.pe.Now()
 	p.pe.Advance(cycles)
 	p.stats.CPU += cycles
 	p.m.traceEvent(p.ID(), EvCompute, uint64(cycles))
+	if p.m.tel != nil {
+		p.m.tel.Slice(p.ID(), telemetry.SliceCompute, start, cycles)
+	}
 }
 
 // Read issues a load of the word at addr. The issue costs one cycle of
@@ -45,7 +50,8 @@ func (p *Proc) Compute(cycles Clock) {
 func (p *Proc) Read(addr Addr) {
 	p.pe.Yield()
 	p.m.traceEvent(p.ID(), EvRead, addr)
-	acc := p.m.sys.Read(p.ID(), p.cluster, addr, p.pe.Now())
+	issue := p.pe.Now()
+	acc := p.m.sys.Read(p.ID(), p.cluster, addr, issue)
 	p.stats.CountRead(acc)
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountRead(acc)
@@ -60,6 +66,28 @@ func (p *Proc) Read(addr Addr) {
 			p.stats.LoadStall += acc.Stall
 		}
 	}
+	if p.m.tel != nil {
+		p.telemeter(issue, acc, acc.Class == coherence.MergeMiss)
+	}
+}
+
+// telemeter reports one reference's issue cycle, stall span and
+// coherence outcome to the attached collector, then gives the interval
+// sampler a chance to fire.
+func (p *Proc) telemeter(issue Clock, acc coherence.Access, merge bool) {
+	tel := p.m.tel
+	tel.Slice(p.ID(), telemetry.SliceCompute, issue, 1)
+	if acc.Stall > 0 {
+		kind := telemetry.SliceLoadStall
+		if merge {
+			kind = telemetry.SliceMergeStall
+		}
+		tel.Slice(p.ID(), kind, issue+1, acc.Stall)
+	}
+	if acc.Class != coherence.Hit {
+		tel.Coherence(p.cluster, acc.Class, acc.Hops, issue)
+	}
+	p.m.maybeSample(p.pe.Now())
 }
 
 // Write issues a store to addr. Stores never stall: the paper assumes
@@ -68,7 +96,8 @@ func (p *Proc) Read(addr Addr) {
 func (p *Proc) Write(addr Addr) {
 	p.pe.Yield()
 	p.m.traceEvent(p.ID(), EvWrite, addr)
-	acc := p.m.sys.Write(p.ID(), p.cluster, addr, p.pe.Now())
+	issue := p.pe.Now()
+	acc := p.m.sys.Write(p.ID(), p.cluster, addr, issue)
 	p.stats.CountWrite(acc)
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountWrite(acc)
@@ -78,6 +107,13 @@ func (p *Proc) Write(addr Addr) {
 	if p.m.cfg.BlockingWrites && acc.Stall > 0 {
 		p.pe.Advance(acc.Stall)
 		p.stats.LoadStall += acc.Stall
+	}
+	if p.m.tel != nil {
+		reported := acc
+		if !p.m.cfg.BlockingWrites {
+			reported.Stall = 0 // hidden by store buffers: the PE never stalled
+		}
+		p.telemeter(issue, reported, false)
 	}
 }
 

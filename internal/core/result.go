@@ -54,7 +54,12 @@ type NormalizedBar struct {
 
 // Normalize builds the stacked bar of this result against a baseline run
 // (the one-processor-per-cluster configuration in the paper's figures).
+// A zero-ExecTime baseline (a degenerate run, e.g. an empty kernel)
+// yields a zero bar rather than ±Inf/NaN components.
 func (r *Result) Normalize(base *Result) NormalizedBar {
+	if base.ExecTime == 0 {
+		return NormalizedBar{}
+	}
 	h := 100 * float64(r.ExecTime) / float64(base.ExecTime)
 	cpu, load, merge, sync := r.Fractions()
 	return NormalizedBar{
@@ -86,9 +91,11 @@ func (r *Result) WriteSummary(w io.Writer) {
 		100*cpu, 100*load, 100*merge, 100*sync)
 	fmt.Fprintf(w, "  references      %12d (%d reads, %d writes)\n",
 		a.References(), a.Reads, a.Writes)
-	fmt.Fprintf(w, "  read misses     %12d (%.3f%% of reads) + %d merges\n",
-		a.ReadMisses, pct(a.ReadMisses, a.Reads), a.Merges)
-	fmt.Fprintf(w, "  write misses    %12d, upgrades %d\n", a.WriteMisses, a.Upgrades)
+	fmt.Fprintf(w, "  read misses     %12d + %d merges (%.3f%% of reads)\n",
+		a.ReadMisses, a.Merges, 100*a.ReadMissRate())
+	fmt.Fprintf(w, "  write misses    %12d + %d merges (%.3f%% of writes), upgrades %d\n",
+		a.WriteMisses, a.WriteMerges, 100*a.WriteMissRate(), a.Upgrades)
+	fmt.Fprintf(w, "  merge rate      %.3f%% of references\n", 100*a.MergeRate())
 	fmt.Fprintf(w, "  miss service    local-clean %d  local-dirty %d  remote-clean %d  remote-dirty %d\n",
 		a.LocalClean, a.LocalDirty, a.RemoteClean, a.RemoteDirty)
 	fmt.Fprintf(w, "  invalidations   %12d\n", r.TotalInvalidations())
@@ -121,13 +128,6 @@ func (r *Result) WriteRegionProfile(w io.Writer) {
 		fmt.Fprintf(w, "  %-16s %12d %12d %10d %10d %10d\n",
 			name, c.Reads, c.Writes, c.ReadMisses, c.Merges, c.Upgrades)
 	}
-}
-
-func pct(n, d uint64) float64 {
-	if d == 0 {
-		return 0
-	}
-	return 100 * float64(n) / float64(d)
 }
 
 func cacheLabel(kb int) string {

@@ -29,7 +29,7 @@ func (m *Machine) NewBarrierN(name string, n int) *Barrier {
 		panic(fmt.Sprintf("core: barrier over %d of %d processors", n, m.cfg.Procs))
 	}
 	b := &Barrier{name: name, id: m.nextSyncID(), m: m, need: n}
-	m.defineSync(EvBarrier, b.id, n)
+	m.defineSync(EvBarrier, b.id, n, name)
 	return b
 }
 
@@ -53,10 +53,12 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	for _, w := range b.waiting {
 		w.p.stats.SyncWait += release - w.arrival
+		b.m.telSyncWait(w.p.ID(), b.id, w.arrival, release)
 		p.pe.Unblock(w.p.pe, release)
 	}
 	b.waiting = b.waiting[:0]
 	p.stats.SyncWait += release - arrival
+	b.m.telSyncWait(p.ID(), b.id, arrival, release)
 	p.pe.SetTime(release)
 }
 
@@ -73,7 +75,7 @@ type Lock struct {
 // NewLock creates a named lock.
 func (m *Machine) NewLock(name string) *Lock {
 	l := &Lock{name: name, id: m.nextSyncID(), m: m}
-	m.defineSync(EvAcquire, l.id, 0)
+	m.defineSync(EvAcquire, l.id, 0, name)
 	return l
 }
 
@@ -107,6 +109,7 @@ func (l *Lock) Release(p *Proc) {
 		release = w.arrival
 	}
 	w.p.stats.SyncWait += release - w.arrival
+	l.m.telSyncWait(w.p.ID(), l.id, w.arrival, release)
 	l.holder = w.p
 	p.pe.Unblock(w.p.pe, release)
 }
@@ -131,7 +134,7 @@ type Flag struct {
 // NewFlag creates a named, initially clear flag.
 func (m *Machine) NewFlag(name string) *Flag {
 	f := &Flag{name: name, id: m.nextSyncID(), m: m}
-	m.defineSync(EvFlagSet, f.id, 0)
+	m.defineSync(EvFlagSet, f.id, 0, name)
 	return f
 }
 
@@ -147,6 +150,7 @@ func (f *Flag) Set(p *Proc) {
 			release = w.arrival
 		}
 		w.p.stats.SyncWait += release - w.arrival
+		f.m.telSyncWait(w.p.ID(), f.id, w.arrival, release)
 		p.pe.Unblock(w.p.pe, release)
 	}
 	f.waiting = nil

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clustersim/internal/telemetry"
+)
+
+// telemetryMachine runs a small clustered workload with a collector
+// attached: mixed compute, shared reads (misses + merges), a lock and
+// barriers.
+func telemetryMachine(t *testing.T, sampleEvery Clock) (*telemetry.Collector, *Result, []Clock) {
+	t.Helper()
+	col := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Procs = 4
+	cfg.ClusterSize = 2
+	cfg.CacheKBPerProc = 4
+	cfg.Telemetry = col
+	cfg.SampleEvery = sampleEvery
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Alloc(16*1024, "data")
+	bar := m.NewBarrier()
+	lock := m.NewLock("tally")
+	res, err := m.Run(func(p *Proc) {
+		p.Compute(Clock(50 * (p.ID() + 1)))
+		bar.Wait(p)
+		for a := data; a < data+16*1024; a += 64 {
+			p.Read(a)
+		}
+		lock.Acquire(p)
+		p.Compute(25)
+		lock.Release(p)
+		bar.Wait(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := make([]Clock, cfg.Procs)
+	for i := range finals {
+		finals[i] = res.Finish[i] // origin is 0: no BeginMeasurement
+	}
+	return col, res, finals
+}
+
+// TestTelemetrySlicesTileTimeline: each PE's slices partition its
+// entire virtual timeline — the acceptance invariant for the Chrome
+// trace exporter.
+func TestTelemetrySlicesTileTimeline(t *testing.T) {
+	col, _, finals := telemetryMachine(t, 0)
+	for pe := 0; pe < col.NumPEs(); pe++ {
+		totals := col.SliceTotals(pe)
+		sum := totals[0] + totals[1] + totals[2] + totals[3]
+		if sum != finals[pe] {
+			t.Errorf("PE %d slice cycles %d != final clock %d (totals %v)",
+				pe, sum, finals[pe], totals)
+		}
+		// Slices must also be contiguous and start at zero.
+		var cursor Clock
+		for _, s := range col.Slices(pe) {
+			if s.Start != cursor {
+				t.Errorf("PE %d gap: slice starts at %d, cursor %d", pe, s.Start, cursor)
+			}
+			cursor = s.Start + s.Dur
+		}
+	}
+}
+
+// TestTelemetryAgreesWithStats: slice totals per kind must equal the
+// per-processor Breakdown the simulator reports.
+func TestTelemetryAgreesWithStats(t *testing.T) {
+	col, res, _ := telemetryMachine(t, 0)
+	for pe, p := range res.Procs {
+		totals := col.SliceTotals(pe)
+		if totals[telemetry.SliceCompute] != p.CPU ||
+			totals[telemetry.SliceLoadStall] != p.LoadStall ||
+			totals[telemetry.SliceMergeStall] != p.MergeStall ||
+			totals[telemetry.SliceSyncWait] != p.SyncWait {
+			t.Errorf("PE %d telemetry %v != breakdown %+v", pe, totals, p.Breakdown)
+		}
+	}
+}
+
+// TestTelemetrySyncAndSched: sync objects are defined, wait episodes
+// recorded, and the scheduler reports handoffs.
+func TestTelemetrySyncAndSched(t *testing.T) {
+	col, _, _ := telemetryMachine(t, 0)
+	if n := len(col.Syncs()); n != 2 {
+		t.Errorf("defined syncs = %d, want 2 (barrier + lock)", n)
+	}
+	if len(col.Episodes()) == 0 {
+		t.Error("no sync episodes recorded")
+	}
+	if col.Sched().Handoffs == 0 {
+		t.Error("no scheduler handoffs recorded")
+	}
+	if col.CoherenceEvents() == 0 {
+		t.Error("no coherence events recorded")
+	}
+}
+
+// TestTelemetrySampling: the interval sampler fires on the cycle grid
+// and the machine-wide deltas sum to the final counters.
+func TestTelemetrySampling(t *testing.T) {
+	col, res, _ := telemetryMachine(t, 500)
+	samples := col.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("samples = %d, want several", len(samples))
+	}
+	var reads uint64
+	for _, s := range samples {
+		reads += s.Total().Refs.Reads
+	}
+	if want := res.Aggregate().Reads; reads != want {
+		t.Errorf("sampled read deltas sum to %d, want %d", reads, want)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At <= samples[i-1].At {
+			t.Errorf("sample times not increasing: %d then %d", samples[i-1].At, samples[i].At)
+		}
+	}
+}
+
+// TestTelemetryMeasurementReset: BeginMeasurement rebaselines the
+// sampler (no uint64 underflow) and drops a global mark.
+func TestTelemetryMeasurementReset(t *testing.T) {
+	col := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Procs = 2
+	cfg.ClusterSize = 1
+	cfg.Telemetry = col
+	cfg.SampleEvery = 100
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := m.Alloc(4096, "d")
+	bar := m.NewBarrier()
+	_, err = m.Run(func(p *Proc) {
+		for a := data; a < data+2048; a += 64 {
+			p.Read(a)
+		}
+		bar.Wait(p)
+		if p.ID() == 0 {
+			p.Machine().BeginMeasurement(p)
+		}
+		bar.Wait(p)
+		for a := data; a < data+2048; a += 64 {
+			p.Read(a)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Marks()) == 0 || col.Marks()[0].Name != "begin measurement" {
+		t.Fatalf("marks = %+v", col.Marks())
+	}
+	for _, s := range col.Samples() {
+		for _, c := range s.Clusters {
+			if c.Refs.Reads > 1<<60 {
+				t.Fatalf("underflowed sample delta: %d", c.Refs.Reads)
+			}
+		}
+	}
+}
+
+// TestTelemetryChromeExportEndToEnd: a real run exports valid trace
+// JSON whose PE tracks tile the timeline.
+func TestTelemetryChromeExportEndToEnd(t *testing.T) {
+	col, _, finals := telemetryMachine(t, 500)
+	var b bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&b, col, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+	sum, err := telemetry.SummarizeChromeTrace(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, final := range finals {
+		if got := sum.PETotals[pe]; got != final {
+			t.Errorf("trace PE %d cycles = %d, want %d", pe, got, final)
+		}
+	}
+	if sum.Counters == 0 {
+		t.Error("no counter samples in trace")
+	}
+}
+
+// TestValidateTelemetryFlags: SampleEvery without a collector is a
+// configuration error, as is a negative interval.
+func TestValidateTelemetryFlags(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleEvery = 100
+	if err := cfg.Validate(); err == nil {
+		t.Error("SampleEvery without Telemetry should fail validation")
+	}
+	cfg.Telemetry = telemetry.New()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid telemetry config rejected: %v", err)
+	}
+	cfg.SampleEvery = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative SampleEvery should fail validation")
+	}
+}

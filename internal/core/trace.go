@@ -1,5 +1,7 @@
 package core
 
+import "clustersim/internal/telemetry"
+
 // Event tracing. Tango-lite, the simulator the paper builds on, could
 // both drive the memory system directly (execution-driven, the mode this
 // library uses) and emit reference traces for later trace-driven
@@ -69,8 +71,33 @@ func (m *Machine) traceEvent(proc int, kind EventKind, arg uint64) {
 	}
 }
 
-func (m *Machine) defineSync(kind EventKind, id, participants int) {
+func (m *Machine) defineSync(kind EventKind, id, participants int, name string) {
 	if m.tracer != nil {
 		m.tracer.DefineSync(kind, id, participants)
+	}
+	if m.tel != nil {
+		m.tel.DefineSync(id, syncKindOf(kind), name, participants)
+	}
+}
+
+// syncKindOf maps the trace event of a sync object's definition to the
+// telemetry classification.
+func syncKindOf(kind EventKind) telemetry.SyncKind {
+	switch kind {
+	case EvBarrier:
+		return telemetry.SyncBarrier
+	case EvAcquire:
+		return telemetry.SyncLock
+	default:
+		return telemetry.SyncFlag
+	}
+}
+
+// telSyncWait charges [arrival, release) on processor pe to sync object
+// id in the telemetry stream. The zero-duration case still records an
+// episode so contention counts stay exact.
+func (m *Machine) telSyncWait(pe, id int, arrival, release Clock) {
+	if m.tel != nil {
+		m.tel.SyncWait(pe, id, arrival, release)
 	}
 }

@@ -37,6 +37,19 @@ const (
 
 type tokenMsg struct{ abort bool }
 
+// Probe observes scheduler-internal events: it is the engine half of the
+// telemetry layer. All callbacks arrive from the goroutine holding the
+// execution token, in global virtual-time order, so implementations need
+// no locking. A nil probe costs one predictable branch per handoff.
+type Probe interface {
+	// Handoff fires every time the execution token changes hands. from
+	// is the yielding processor (-1 for the initial dispatch), to the
+	// resuming one; fromTime and toTime are their virtual clocks and
+	// readyDepth is the ready-heap population after the pop. The skew
+	// fromTime-toTime is the quantum slack actually exploited.
+	Handoff(from, to int, fromTime, toTime Clock, readyDepth int)
+}
+
 // abortPanic unwinds a processor goroutine during simulation shutdown.
 type abortPanic struct{}
 
@@ -87,6 +100,9 @@ func (pe *PE) Yield() {
 		s.heapPush(pe)
 		next := s.heapPopMin()
 		next.state = stateRunning
+		if s.probe != nil {
+			s.probe.Handoff(pe.id, next.id, pe.time, next.time, len(s.heap))
+		}
 		next.token <- tokenMsg{}
 		pe.wait()
 	}
@@ -98,7 +114,7 @@ func (pe *PE) Yield() {
 func (pe *PE) Block(reason string) {
 	pe.state = stateBlocked
 	pe.reason = reason
-	pe.sched.dispatchNext()
+	pe.sched.dispatchNext(pe)
 	pe.wait()
 	pe.reason = ""
 }
@@ -135,6 +151,7 @@ type Scheduler struct {
 	heap      []*PE
 	quantum   Clock
 	nFinished int
+	probe     Probe
 	err       error
 	mu        sync.Mutex // guards err on the kernel-panic path only
 }
@@ -162,6 +179,10 @@ func (s *Scheduler) NumPE() int { return len(s.pes) }
 // PEs returns the processors, indexed by ID. Intended for wiring up the
 // layer above before Run is called.
 func (s *Scheduler) PEs() []*PE { return s.pes }
+
+// SetProbe attaches a telemetry probe; call before Run. A nil probe
+// (the default) disables observation entirely.
+func (s *Scheduler) SetProbe(p Probe) { s.probe = p }
 
 // Run executes kernel once per processor, each on its own goroutine, and
 // returns when every kernel has finished or the simulation has failed.
@@ -192,6 +213,9 @@ func (s *Scheduler) Run(kernel func(*PE)) error {
 	}
 	first := s.heapPopMin()
 	first.state = stateRunning
+	if s.probe != nil {
+		s.probe.Handoff(-1, first.id, 0, first.time, len(s.heap))
+	}
 	first.token <- tokenMsg{}
 	wg.Wait()
 	return s.err
@@ -210,17 +234,20 @@ func (s *Scheduler) Times() []Clock {
 func (s *Scheduler) finish(pe *PE) {
 	pe.state = stateFinished
 	s.nFinished++
-	s.dispatchNext()
+	s.dispatchNext(pe)
 }
 
 // dispatchNext passes the token to the minimum-clock runnable processor.
 // If none is runnable and not all have finished, the simulation is
 // deadlocked. The caller's goroutine keeps running (it is finishing or
 // about to park in wait).
-func (s *Scheduler) dispatchNext() {
+func (s *Scheduler) dispatchNext(from *PE) {
 	if len(s.heap) > 0 {
 		next := s.heapPopMin()
 		next.state = stateRunning
+		if s.probe != nil {
+			s.probe.Handoff(from.id, next.id, from.time, next.time, len(s.heap))
+		}
 		next.token <- tokenMsg{}
 		return
 	}

@@ -7,13 +7,18 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/telemetry"
 )
 
 // ClusterSizes are the paper's cluster configurations.
@@ -38,6 +43,20 @@ type Options struct {
 	// CSV emits figure data as CSV rows for external plotting; takes
 	// precedence over Bars.
 	CSV bool
+
+	// Progress, when non-nil, receives one line per completed
+	// simulation point (typically os.Stderr).
+	Progress io.Writer
+	// SampleEvery, when positive, attaches a telemetry collector to
+	// every run and samples per-cluster counter deltas on that
+	// simulated-cycle grid.
+	SampleEvery int64
+	// TraceDir, when set, writes one Chrome trace-event JSON file per
+	// simulated point into the directory (created if missing).
+	TraceDir string
+	// ManifestOut, when non-nil, receives one compact JSON run manifest
+	// per simulated point, one per line (JSONL).
+	ManifestOut io.Writer
 }
 
 // DefaultOptions is the paper's machine at the scaled default problem
@@ -91,12 +110,88 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := w.Run(s.Opt.config(clusterSize, cacheKB), s.Opt.Size)
+	cfg := s.Opt.config(clusterSize, cacheKB)
+	var col *telemetry.Collector
+	if s.Opt.observing() {
+		col = telemetry.New()
+		cfg.Telemetry = col
+		cfg.SampleEvery = s.Opt.SampleEvery
+	}
+	start := time.Now()
+	res, err := w.Run(cfg, s.Opt.Size)
 	if err != nil {
 		return nil, fmt.Errorf("%s cluster=%d cache=%dKB: %w", app, clusterSize, cacheKB, err)
 	}
+	if err := s.export(key, cfg, col, res, time.Since(start)); err != nil {
+		return nil, err
+	}
 	s.runs[key] = res
 	return res, nil
+}
+
+// observing reports whether runs need a telemetry collector attached.
+func (o Options) observing() bool {
+	return o.SampleEvery > 0 || o.TraceDir != "" || o.ManifestOut != nil
+}
+
+// export emits the per-point observability artifacts: a progress line,
+// a Chrome trace file, and a manifest JSONL row.
+func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
+	res *core.Result, wall time.Duration) error {
+	if s.Opt.Progress != nil {
+		fmt.Fprintf(s.Opt.Progress, "ran %s cluster=%d cache=%s: exec %d cycles (wall %v)\n",
+			key.app, key.clusterSize, cacheName(key.cacheKB), res.ExecTime, wall.Round(time.Millisecond))
+	}
+	if col == nil {
+		return nil
+	}
+	if s.Opt.TraceDir != "" {
+		if err := os.MkdirAll(s.Opt.TraceDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(s.Opt.TraceDir,
+			fmt.Sprintf("%s-c%d-%s.trace.json", key.app, key.clusterSize, cacheName(key.cacheKB)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		hash, err := telemetry.HashConfig(cfg)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		err = telemetry.WriteChromeTrace(f, col, map[string]string{
+			"app": key.app, "size": s.Opt.Size.String(), "configHash": hash,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if s.Opt.ManifestOut != nil {
+		// Compact (one line) so the stream is JSONL.
+		var b bytes.Buffer
+		if err := telemetry.WriteManifest(&b, telemetry.Manifest{
+			App:       key.app,
+			Size:      s.Opt.Size.String(),
+			Config:    cfg,
+			Result:    res,
+			Telemetry: col.SelfReport(),
+		}); err != nil {
+			return err
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, b.Bytes()); err != nil {
+			return err
+		}
+		compact.WriteByte('\n')
+		if _, err := s.Opt.ManifestOut.Write(compact.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Bar is one stacked bar of a paper figure.

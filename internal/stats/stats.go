@@ -128,6 +128,27 @@ func (c Counters) ReadMissRate() float64 {
 	return float64(c.ReadMisses+c.Merges) / float64(c.Reads)
 }
 
+// WriteMissRate returns write misses (including write merges) per
+// write, mirroring ReadMissRate. Upgrades are excluded: the line was
+// present, only ownership was missing.
+func (c Counters) WriteMissRate() float64 {
+	if c.Writes == 0 {
+		return 0
+	}
+	return float64(c.WriteMisses+c.WriteMerges) / float64(c.Writes)
+}
+
+// MergeRate returns merged references (read and write) per reference —
+// the cluster-prefetching overlap the paper's merge-stall component
+// measures the cost of.
+func (c Counters) MergeRate() float64 {
+	refs := c.References()
+	if refs == 0 {
+		return 0
+	}
+	return float64(c.Merges+c.WriteMerges) / float64(refs)
+}
+
 // Proc is the complete per-processor record.
 type Proc struct {
 	Breakdown

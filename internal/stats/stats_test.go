@@ -53,9 +53,31 @@ func TestZeroRates(t *testing.T) {
 	if c.ReadMissRate() != 0 {
 		t.Fatal("miss rate of empty counters should be 0")
 	}
+	if c.WriteMissRate() != 0 {
+		t.Fatal("write miss rate of empty counters should be 0")
+	}
+	if c.MergeRate() != 0 {
+		t.Fatal("merge rate of empty counters should be 0")
+	}
 	var b Breakdown
 	if b.Total() != 0 {
 		t.Fatal("empty breakdown total should be 0")
+	}
+}
+
+func TestWriteMissRate(t *testing.T) {
+	c := Counters{Writes: 200, WriteMisses: 30, WriteMerges: 10, Upgrades: 40}
+	// Mirrors ReadMissRate: misses plus merges per write; upgrades are
+	// ownership-only and excluded.
+	if got, want := c.WriteMissRate(), 0.2; got != want {
+		t.Fatalf("WriteMissRate = %f, want %f", got, want)
+	}
+}
+
+func TestMergeRate(t *testing.T) {
+	c := Counters{Reads: 300, Writes: 100, Merges: 30, WriteMerges: 10}
+	if got, want := c.MergeRate(), 0.1; got != want {
+		t.Fatalf("MergeRate = %f, want %f", got, want)
 	}
 }
 

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"clustersim/internal/coherence"
+	"clustersim/internal/stats"
+)
+
+// ClusterSample is one cluster's counters at (or over) a point in
+// simulated time: the reference counters summed over the cluster's
+// processors plus the cluster's protocol counters.
+type ClusterSample struct {
+	Refs stats.Counters
+	Coh  coherence.Stats
+}
+
+func (a ClusterSample) minus(b ClusterSample) ClusterSample {
+	return ClusterSample{
+		Refs: stats.Counters{
+			Reads:        a.Refs.Reads - b.Refs.Reads,
+			Writes:       a.Refs.Writes - b.Refs.Writes,
+			ReadHits:     a.Refs.ReadHits - b.Refs.ReadHits,
+			WriteHits:    a.Refs.WriteHits - b.Refs.WriteHits,
+			ReadMisses:   a.Refs.ReadMisses - b.Refs.ReadMisses,
+			WriteMisses:  a.Refs.WriteMisses - b.Refs.WriteMisses,
+			Upgrades:     a.Refs.Upgrades - b.Refs.Upgrades,
+			Merges:       a.Refs.Merges - b.Refs.Merges,
+			WriteMerges:  a.Refs.WriteMerges - b.Refs.WriteMerges,
+			LocalClean:   a.Refs.LocalClean - b.Refs.LocalClean,
+			LocalDirty:   a.Refs.LocalDirty - b.Refs.LocalDirty,
+			RemoteClean:  a.Refs.RemoteClean - b.Refs.RemoteClean,
+			RemoteDirty:  a.Refs.RemoteDirty - b.Refs.RemoteDirty,
+			IntraCluster: a.Refs.IntraCluster - b.Refs.IntraCluster,
+		},
+		Coh: coherence.Stats{
+			InvalidationsSent:     a.Coh.InvalidationsSent - b.Coh.InvalidationsSent,
+			InvalidationsReceived: a.Coh.InvalidationsReceived - b.Coh.InvalidationsReceived,
+			ReplacementHints:      a.Coh.ReplacementHints - b.Coh.ReplacementHints,
+			Writebacks:            a.Coh.Writebacks - b.Coh.Writebacks,
+		},
+	}
+}
+
+// Sample is the per-cluster counter *deltas* accumulated over one
+// sampling interval ending at At.
+type Sample struct {
+	At       Clock
+	Clusters []ClusterSample
+}
+
+// Total sums the sample's per-cluster reference deltas.
+func (s Sample) Total() ClusterSample {
+	var t ClusterSample
+	for _, c := range s.Clusters {
+		t.Refs = t.Refs.Plus(c.Refs)
+		t.Coh.InvalidationsSent += c.Coh.InvalidationsSent
+		t.Coh.InvalidationsReceived += c.Coh.InvalidationsReceived
+		t.Coh.ReplacementHints += c.Coh.ReplacementHints
+		t.Coh.Writebacks += c.Coh.Writebacks
+	}
+	return t
+}
+
+// Sample snapshots the *cumulative* per-cluster counters at simulated
+// time at; the collector stores the delta against the previous
+// snapshot. The machine drives this on its Config.SampleEvery grid.
+func (c *Collector) Sample(at Clock, cumulative []ClusterSample) {
+	s := Sample{At: at, Clusters: make([]ClusterSample, len(cumulative))}
+	for i, cur := range cumulative {
+		s.Clusters[i] = cur.minus(c.prev[i])
+		c.prev[i] = cur
+	}
+	c.samples = append(c.samples, s)
+	if c.progress != nil {
+		t := s.Total()
+		fmt.Fprintf(c.progress, "%s cycle %d: refs +%d  rd-miss +%d  merge +%d  inval +%d\n",
+			c.label, at, t.Refs.References(), t.Refs.ReadMisses, t.Refs.Merges,
+			t.Coh.InvalidationsSent)
+	}
+}
+
+// NoteStatsReset tells the sampler the machine's counters were zeroed
+// (BeginMeasurement), so the next delta baselines at zero instead of
+// underflowing.
+func (c *Collector) NoteStatsReset(at Clock) {
+	for i := range c.prev {
+		c.prev[i] = ClusterSample{}
+	}
+	c.MarkInstant("begin measurement", at)
+}
+
+// Samples returns the recorded interval series.
+func (c *Collector) Samples() []Sample { return c.samples }
