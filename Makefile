@@ -2,15 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments paper examples clean
+.PHONY: all build vet lint simlint sanitize-suite test test-short race bench experiments paper examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus simlint, the project's determinism
+# linter (wall-clock reads, unseeded rand, order-dependent map ranges,
+# stray goroutines, float accumulation into virtual time).
+lint: vet simlint
+
+simlint:
+	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -tests ./...
+
+# Short reproduction sweep with the runtime sanitizer attached: every
+# coherence transaction is cross-validated against the directory, so a
+# protocol regression fails loudly rather than skewing the tables.
+sanitize-suite: build
+	$(GO) run ./cmd/experiments -procs 16 -size test -sanitize fig2 table3
 
 test:
 	$(GO) test ./...

@@ -31,15 +31,16 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "ocean", "application: "+strings.Join(registry.Names(), ", "))
-		procs   = flag.Int("procs", 64, "total processors")
-		cluster = flag.Int("cluster", 1, "processors per cluster (1, 2, 4 or 8)")
-		cacheKB = flag.Int("cache", 0, "cache KB per processor (0 = infinite)")
-		size    = flag.String("size", "default", "problem size: test, default or paper")
-		line    = flag.Uint64("line", 64, "cache line bytes")
-		quantum = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
-		profile = flag.Bool("profile", false, "attribute references to named allocations")
-		org     = flag.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
+		app      = flag.String("app", "ocean", "application: "+strings.Join(registry.Names(), ", "))
+		procs    = flag.Int("procs", 64, "total processors")
+		cluster  = flag.Int("cluster", 1, "processors per cluster (1, 2, 4 or 8)")
+		cacheKB  = flag.Int("cache", 0, "cache KB per processor (0 = infinite)")
+		size     = flag.String("size", "default", "problem size: test, default or paper")
+		line     = flag.Uint64("line", 64, "cache line bytes")
+		quantum  = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
+		profile  = flag.Bool("profile", false, "attribute references to named allocations")
+		sanitize = flag.Bool("sanitize", false, "cross-validate directory/cache state after every transaction (requires -quantum 0)")
+		org      = flag.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
 
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto)")
 		jsonOut  = flag.Bool("json", false, "print a JSON run manifest instead of the text report")
@@ -63,6 +64,7 @@ func main() {
 	cfg.LineBytes = *line
 	cfg.Quantum = *quantum
 	cfg.ProfileRegions = *profile
+	cfg.Sanitize = *sanitize
 	switch *org {
 	case "shared-cache":
 		cfg.Organization = core.SharedCache

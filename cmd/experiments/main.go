@@ -27,6 +27,7 @@ func main() {
 		procs    = flag.Int("procs", 64, "total processors")
 		size     = flag.String("size", "default", "problem size: test, default or paper")
 		quantum  = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
+		sanitize = flag.Bool("sanitize", false, "cross-validate directory/cache state after every transaction (requires -quantum 0)")
 		bars     = flag.Bool("bars", false, "render figures as ASCII stacked bars")
 		csvOut   = flag.Bool("csv", false, "emit figure data as CSV rows")
 		progress = flag.Bool("progress", false, "log each completed simulation point to stderr")
@@ -46,6 +47,7 @@ func main() {
 	opt := experiments.DefaultOptions()
 	opt.Procs = *procs
 	opt.Quantum = *quantum
+	opt.Sanitize = *sanitize
 	opt.Bars = *bars
 	opt.CSV = *csvOut
 	opt.SampleEvery = *sample

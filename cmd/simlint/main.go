@@ -1,0 +1,61 @@
+// Command simlint runs the project's determinism lint over the module.
+//
+// Usage:
+//
+//	simlint [-tests] [-q] [packages...]
+//
+// where packages are directories or "dir/..." wildcards relative to the
+// working directory (default "./..."). simlint reports:
+//
+//	wallclock  — wall-clock reads (time.Now/Since/...) in simulated code
+//	rand       — math/rand misuse: unseeded global draws, or seeds that
+//	             are neither constants nor processor-ID derived
+//	maprange   — map iteration leaking order into results
+//	goroutine  — go statements outside internal/engine
+//	floatclock — float accumulation into Clock/counter fields
+//
+// Findings are silenced with `//simlint:allow <rule>` on or directly
+// above the offending line, or in the enclosing function's doc comment.
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersim/internal/lint"
+)
+
+func main() {
+	var (
+		tests = flag.Bool("tests", false, "also lint _test.go files")
+		quiet = flag.Bool("q", false, "print only the finding count")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &lint.Loader{Tests: *tests}
+	pkgs, err := loader.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range lint.Check(pkg) {
+			total++
+			if !*quiet {
+				fmt.Println(f)
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", total, len(pkgs))
+		os.Exit(1)
+	}
+}

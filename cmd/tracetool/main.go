@@ -79,7 +79,7 @@ func telemetrySummary(args []string) {
 	if len(sum.OtherData) > 0 {
 		keys := make([]string, 0, len(sum.OtherData))
 		for k := range sum.OtherData {
-			keys = append(keys, k)
+			keys = append(keys, k) //simlint:allow maprange
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
@@ -89,7 +89,7 @@ func telemetrySummary(args []string) {
 	var kinds []string
 	var total int64
 	for k, v := range sum.ByKind {
-		kinds = append(kinds, k)
+		kinds = append(kinds, k) //simlint:allow maprange
 		total += v
 	}
 	sort.Strings(kinds)

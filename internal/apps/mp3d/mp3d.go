@@ -105,7 +105,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 		P := p.NumProcs()
 		// Initialization: deal particles round-robin (the vector-code
 		// assignment) with deterministic positions and velocities.
-		rng := rand.New(rand.NewSource(int64(31 + id)))
+		rng := rand.New(rand.NewSource(int64(31 + p.ID())))
 		for i := id; i < n; i += P {
 			for d := 0; d < 3; d++ {
 				pos[i][d] = rng.Float64() * float64(g)

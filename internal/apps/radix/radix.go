@@ -86,7 +86,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		klo, khi := apps.Chunk(pr.Keys, id, P)
-		rng := rand.New(rand.NewSource(int64(997 + id)))
+		rng := rand.New(rand.NewSource(int64(997 + p.ID())))
 		mask := int64(1)<<pr.KeyBits - 1
 		for i := klo; i < khi; i++ {
 			k := rng.Int63() & mask

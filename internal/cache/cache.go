@@ -108,6 +108,12 @@ func (c *Cache) Lookup(tag uint64, now Clock) *Line {
 	return l
 }
 
+// Peek returns the resident line for tag without settling pending fills
+// or updating recency — the sanitizer's non-mutating view. A pending
+// line whose ReadyAt has passed is still reported Pending; readers must
+// use FillState for its effective coherence state.
+func (c *Cache) Peek(tag uint64) *Line { return c.lines[tag] }
+
 // Touch marks the line most recently used.
 func (c *Cache) Touch(l *Line) {
 	if c.policy == FIFO {

@@ -15,6 +15,9 @@ type Store interface {
 	// Lookup returns the resident line for tag, or nil, settling an
 	// expired pending fill first. It does not update recency.
 	Lookup(tag uint64, now Clock) *Line
+	// Peek returns the resident line for tag without settling pending
+	// fills or updating recency (non-mutating; for invariant audits).
+	Peek(tag uint64) *Line
 	// Touch marks the line most recently used.
 	Touch(l *Line)
 	// Insert installs a pending fill, evicting a victim if needed.
@@ -81,6 +84,9 @@ func (sa *SetAssoc) set(tag uint64) *Cache { return sa.sets[tag&sa.mask] }
 
 // Lookup finds tag in its set.
 func (sa *SetAssoc) Lookup(tag uint64, now Clock) *Line { return sa.set(tag).Lookup(tag, now) }
+
+// Peek finds tag in its set without settling or recency updates.
+func (sa *SetAssoc) Peek(tag uint64) *Line { return sa.set(tag).Peek(tag) }
 
 // Touch marks the line most recently used within its set.
 func (sa *SetAssoc) Touch(l *Line) { sa.set(l.Tag).Touch(l) }

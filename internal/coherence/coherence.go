@@ -151,6 +151,10 @@ type MemoryModel interface {
 	ResetStats()
 	// CheckInvariants audits internal consistency at time now.
 	CheckInvariants(now Clock) error
+	// CheckLine audits the consistency of the single line containing
+	// addr at time now — the sanitizer's per-transaction spot check,
+	// O(clusters) rather than O(resident lines).
+	CheckLine(addr memory.Addr, now Clock) error
 	// LineBytes returns the coherence granularity.
 	LineBytes() uint64
 }
@@ -404,6 +408,53 @@ func (s *System) checkAccess(cluster int, addr memory.Addr) {
 		}
 		panic(fmt.Sprintf("coherence: access to unallocated address %#x", addr))
 	}
+}
+
+// CheckLine audits one line's directory/cache agreement at time now:
+// the sharer bit-vector must exactly mirror cache residency (modulo the
+// hints-disabled ablation, where a bit may outlive the copy), an
+// EXCLUSIVE entry must have exactly one owner holding (or filling) the
+// line EXCLUSIVE, and SHARED copies must all be SHARED. Pending fills
+// are judged by their FillState without being settled (Peek, not
+// Lookup), so the audit never perturbs simulation state.
+func (s *System) CheckLine(addr memory.Addr, now Clock) error {
+	line := s.LineOf(addr)
+	e := s.dir.Lookup(line)
+	for cl := 0; cl < s.numClusters; cl++ {
+		l := s.caches[cl].Peek(line)
+		if e.Has(cl) != (l != nil) {
+			if s.disableHints && e.Has(cl) && l == nil {
+				continue // stale sharer bit from a silent clean drop
+			}
+			return fmt.Errorf("line %#x: directory bit for cluster %d is %v but cache residency is %v",
+				line, cl, e.Has(cl), l != nil)
+		}
+		if l == nil {
+			continue
+		}
+		st := l.State
+		if l.Pending {
+			st = l.FillState
+			if l.ReadyAt < now && l.State != cache.Invalid {
+				return fmt.Errorf("line %#x: cluster %d fill settled state %v left stale at %d (ready %d)",
+					line, cl, l.State, now, l.ReadyAt)
+			}
+		}
+		switch e.State {
+		case directory.Exclusive:
+			if st != cache.Exclusive {
+				return fmt.Errorf("line %#x: directory EXCLUSIVE but cluster %d caches it %v", line, cl, st)
+			}
+		case directory.Shared:
+			if st != cache.Shared {
+				return fmt.Errorf("line %#x: directory SHARED but cluster %d caches it %v", line, cl, st)
+			}
+		}
+	}
+	if e.State == directory.Exclusive && e.NumSharers() != 1 {
+		return fmt.Errorf("line %#x: EXCLUSIVE with %d sharers", line, e.NumSharers())
+	}
+	return nil
 }
 
 // CheckInvariants audits the agreement between caches and directory at

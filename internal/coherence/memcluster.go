@@ -298,6 +298,43 @@ func (s *MemClusterSystem) check(proc, cluster int, addr memory.Addr) {
 	}
 }
 
+// CheckLine audits one line's directory/attraction/private-cache
+// agreement at time now — the sanitizer's per-transaction spot check.
+// Peek keeps the audit non-mutating.
+func (s *MemClusterSystem) CheckLine(addr memory.Addr, now Clock) error {
+	line := addr >> s.lineShift
+	e := s.dir.Lookup(line)
+	for cl := 0; cl < s.numClusters; cl++ {
+		if _, present := s.attraction[cl][line]; e.Has(cl) != present {
+			return fmt.Errorf("line %#x: directory bit %v but attraction presence %v in cluster %d",
+				line, e.Has(cl), present, cl)
+		}
+	}
+	if e.State == directory.Exclusive && e.NumSharers() != 1 {
+		return fmt.Errorf("line %#x: EXCLUSIVE with %d sharers", line, e.NumSharers())
+	}
+	for p := range s.l1 {
+		l := s.l1[p].Peek(line)
+		if l == nil {
+			continue
+		}
+		cl := p / s.clusterSize
+		st, ok := s.attraction[cl][line]
+		if !ok {
+			return fmt.Errorf("processor %d caches line %#x absent from cluster %d", p, line, cl)
+		}
+		eff := l.State
+		if l.Pending {
+			eff = l.FillState
+		}
+		if eff == cache.Exclusive && st != cache.Exclusive {
+			return fmt.Errorf("processor %d holds line %#x EXCLUSIVE but cluster %d is %v",
+				p, line, cl, st)
+		}
+	}
+	return nil
+}
+
 // CheckInvariants audits directory/attraction/private-cache agreement.
 func (s *MemClusterSystem) CheckInvariants(now Clock) error {
 	var err error

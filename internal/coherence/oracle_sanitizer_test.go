@@ -1,0 +1,84 @@
+package coherence_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clustersim/internal/core"
+	"clustersim/internal/sanitizer"
+)
+
+// TestSanitizerPropertyRandomStreams drives fixed-seed random reference
+// streams through sanitizer-enabled machines at every cluster size the
+// paper studies (1, 2, 4, 8), under both cluster organisations and with
+// finite caches small enough to force eviction traffic. The property:
+// the sanitizer's per-transaction cross-validation, periodic full
+// audits and final audit all pass with zero violations — the protocol
+// implementation never leaves a state the directory and the caches
+// disagree on, and virtual time never runs backwards.
+func TestSanitizerPropertyRandomStreams(t *testing.T) {
+	for _, org := range []core.Organization{core.SharedCache, core.SharedMemory} {
+		for _, cs := range []int{1, 2, 4, 8} {
+			org, cs := org, cs
+			t.Run(fmt.Sprintf("%v/cluster=%d", org, cs), func(t *testing.T) {
+				cfg := core.DefaultConfig()
+				cfg.Procs = 8
+				cfg.ClusterSize = cs
+				cfg.CacheKBPerProc = 4 // finite: exercise evictions + hints
+				cfg.Organization = org
+				cfg.Sanitize = true
+				m, err := core.NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				san := m.Sanitizer()
+				san.AuditEvery = 512 // audit the whole machine often in tests
+				var violations []sanitizer.Violation
+				san.OnViolation = func(v sanitizer.Violation) {
+					if len(violations) < 4 {
+						violations = append(violations, v)
+					}
+				}
+				// Shared array spanning many pages so homes rotate across
+				// clusters; a hot tail induces upgrade/invalidation churn.
+				data := m.Alloc(1<<18, "shared")
+				bar := m.NewBarrier()
+				_, err = m.Run(func(p *core.Proc) {
+					rng := rand.New(rand.NewSource(int64(1000 + p.ID())))
+					for i := 0; i < 2500; i++ {
+						var a uint64
+						if rng.Intn(4) == 0 {
+							a = data + uint64(rng.Intn(64))*64 // contended tail
+						} else {
+							a = data + uint64(rng.Intn(4096))*64
+						}
+						if rng.Intn(3) == 0 {
+							p.Write(a)
+						} else {
+							p.Read(a)
+						}
+						if i%16 == 0 {
+							p.Compute(core.Clock(rng.Intn(20)))
+						}
+						if i%500 == 499 {
+							bar.Wait(p)
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range violations {
+					t.Errorf("%v", v)
+				}
+				if n := san.Violations(); n != 0 {
+					t.Errorf("%d violations across %d transactions", n, san.Transactions())
+				}
+				if san.Transactions() < 8*2500 {
+					t.Errorf("checker saw only %d transactions", san.Transactions())
+				}
+			})
+		}
+	}
+}

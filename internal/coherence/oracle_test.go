@@ -293,6 +293,17 @@ func TestDifferentialOracle(t *testing.T) {
 					t.Fatalf("step %d (cl %d, addr %#x, t %d): system %+v, oracle %+v",
 						step, cl, addr, now, got, want)
 				}
+				// The sanitizer's per-line spot check must hold after
+				// every transaction, and the full audit at intervals
+				// (it also covers lines that only evictions touched).
+				if err := sys.CheckLine(addr, now); err != nil {
+					t.Fatalf("step %d (cl %d, addr %#x, t %d): %v", step, cl, addr, now, err)
+				}
+				if step%5000 == 4999 {
+					if err := sys.CheckInvariants(now); err != nil {
+						t.Fatalf("step %d: full audit: %v", step, err)
+					}
+				}
 				now += Clock(r.Intn(7))
 			}
 		})

@@ -142,6 +142,16 @@ type Config struct {
 	// excluded from the config hash.
 	SampleEvery Clock `json:"-"`
 
+	// Sanitize attaches the runtime sanitizer: after every coherence
+	// transaction the directory's sharer vector is cross-validated
+	// against the touched line's cache states, issue times are checked
+	// for per-processor and global virtual-time monotonicity, and a full
+	// machine audit runs periodically and at the end of the run. A
+	// violation panics with a replayable transaction dump. Requires
+	// Quantum 0 (the global monotonicity guarantee quanta trade away).
+	// Purely observational, so it is excluded from the config hash.
+	Sanitize bool `json:"-"`
+
 	// BlockingWrites makes stores stall for their fetch latency —
 	// disabling the paper's assumption that "the latency of WRITE and
 	// UPGRADE misses could be completely hidden by store buffers and a
@@ -200,6 +210,10 @@ func (c Config) Validate() error {
 	}
 	if c.SampleEvery > 0 && c.Telemetry == nil {
 		return fmt.Errorf("core: SampleEvery set without a Telemetry collector")
+	}
+	if c.Sanitize && c.Quantum > 0 {
+		return fmt.Errorf("core: Sanitize requires exact event ordering, but Quantum is %d; "+
+			"quanta permit bounded timing skew that breaks the sanitizer's global monotonicity invariant", c.Quantum)
 	}
 	if c.BusCycles < 0 {
 		return fmt.Errorf("core: negative BusCycles")

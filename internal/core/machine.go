@@ -6,6 +6,7 @@ import (
 	"clustersim/internal/coherence"
 	"clustersim/internal/engine"
 	"clustersim/internal/memory"
+	"clustersim/internal/sanitizer"
 	"clustersim/internal/stats"
 	"clustersim/internal/telemetry"
 )
@@ -37,6 +38,11 @@ type Machine struct {
 	// nextSample is the next interval-sampler deadline.
 	tel        *telemetry.Collector
 	nextSample Clock
+
+	// san, when set, validates every coherence transaction
+	// (Config.Sanitize). The hot paths gate on the nil check alone, so a
+	// disabled sanitizer costs nothing.
+	san *sanitizer.Checker
 }
 
 // NewMachine builds a machine from cfg.
@@ -76,6 +82,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		sys = sc
 	}
 	m := &Machine{cfg: cfg, as: as, sys: sys}
+	if cfg.Sanitize {
+		// Global monotonicity is safe to assert because Validate rejects
+		// Sanitize with a nonzero Quantum.
+		m.san = sanitizer.New(sys, cfg.Procs, true)
+	}
 	if cfg.ProfileRegions {
 		m.EnableRegionProfile()
 	}
@@ -151,6 +162,11 @@ func (m *Machine) Place(base Addr, size uint64, proc int) {
 // AddressSpace exposes the allocator for diagnostics.
 func (m *Machine) AddressSpace() *memory.AddressSpace { return m.as }
 
+// Sanitizer returns the attached runtime checker, or nil when
+// Config.Sanitize is off. Tests install an OnViolation handler through
+// it to collect violations instead of panicking.
+func (m *Machine) Sanitizer() *sanitizer.Checker { return m.san }
+
 // System exposes the memory system for inspection and invariant audits.
 func (m *Machine) System() coherence.MemoryModel { return m.sys }
 
@@ -225,6 +241,15 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 		if m.cfg.SampleEvery > 0 {
 			m.snapshotSample(last) // close the final partial interval
 		}
+	}
+	if m.san != nil {
+		var last Clock
+		for _, p := range m.procs {
+			if t := p.pe.Now(); t > last {
+				last = t
+			}
+		}
+		m.san.Final(last) // end-of-run full audit
 	}
 	res := &Result{
 		Config:    m.cfg,

@@ -52,6 +52,9 @@ func (p *Proc) Read(addr Addr) {
 	p.m.traceEvent(p.ID(), EvRead, addr)
 	issue := p.pe.Now()
 	acc := p.m.sys.Read(p.ID(), p.cluster, addr, issue)
+	if p.m.san != nil {
+		p.m.san.OnAccess(p.ID(), p.cluster, false, addr, issue, acc)
+	}
 	p.stats.CountRead(acc)
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountRead(acc)
@@ -98,6 +101,9 @@ func (p *Proc) Write(addr Addr) {
 	p.m.traceEvent(p.ID(), EvWrite, addr)
 	issue := p.pe.Now()
 	acc := p.m.sys.Write(p.ID(), p.cluster, addr, issue)
+	if p.m.san != nil {
+		p.m.san.OnAccess(p.ID(), p.cluster, true, addr, issue, acc)
+	}
 	p.stats.CountWrite(acc)
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountWrite(acc)

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+	"clustersim/internal/telemetry"
+)
+
+// detConfig is the small clustered machine every registered application
+// is replayed on — finite caches so eviction, hint and writeback paths
+// are all exercised.
+func detConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = 8
+	cfg.ClusterSize = 2
+	cfg.CacheKBPerProc = 16
+	return cfg
+}
+
+// TestCrossRunDeterminism replays every registered application twice
+// under an identical configuration and requires byte-identical JSON
+// results (every counter, finish time and region profile) and equal
+// config hashes — the simulator's bit-reproducibility guarantee, end to
+// end. A third run with the sanitizer attached must also be
+// byte-identical: the checker is read-only and must not perturb the
+// simulation it watches.
+func TestCrossRunDeterminism(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(sanitize bool) ([]byte, string) {
+				t.Helper()
+				cfg := detConfig()
+				cfg.Sanitize = sanitize
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hash, err := telemetry.HashConfig(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, hash
+			}
+			first, hash1 := run(false)
+			second, hash2 := run(false)
+			if hash1 != hash2 {
+				t.Errorf("config hash differs across runs: %s vs %s", hash1, hash2)
+			}
+			if !bytes.Equal(first, second) {
+				t.Errorf("results differ across identical runs:\n run 1: %s\n run 2: %s",
+					diffHint(first, second), diffHint(second, first))
+			}
+			sanitized, hash3 := run(true)
+			if hash3 != hash1 {
+				t.Errorf("Sanitize changed the config hash: %s vs %s", hash3, hash1)
+			}
+			if !bytes.Equal(first, sanitized) {
+				t.Errorf("sanitizer perturbed the run:\n plain:     %s\n sanitized: %s",
+					diffHint(first, sanitized), diffHint(sanitized, first))
+			}
+		})
+	}
+}
+
+// diffHint trims a JSON blob to the window around its first divergence
+// from other, keeping failure output readable.
+func diffHint(blob, other []byte) []byte {
+	i := 0
+	for i < len(blob) && i < len(other) && blob[i] == other[i] {
+		i++
+	}
+	lo, hi := i-40, i+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(blob) {
+		hi = len(blob)
+	}
+	return blob[lo:hi]
+}

@@ -36,6 +36,10 @@ type Options struct {
 	Size apps.Size
 	// Quantum is the engine's event-ordering slack; 0 is exact.
 	Quantum int64
+	// Sanitize attaches the runtime sanitizer to every run: per-
+	// transaction directory/cache cross-validation and virtual-time
+	// monotonicity checks, fatal on violation. Requires Quantum 0.
+	Sanitize bool
 	// Out receives the printed tables; defaults to os.Stdout.
 	Out io.Writer
 	// Bars renders figures as ASCII stacked bars instead of numeric rows.
@@ -78,6 +82,7 @@ func (o Options) config(clusterSize, cacheKB int) core.Config {
 	cfg.ClusterSize = clusterSize
 	cfg.CacheKBPerProc = cacheKB
 	cfg.Quantum = o.Quantum
+	cfg.Sanitize = o.Sanitize
 	return cfg
 }
 
@@ -117,12 +122,14 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		cfg.Telemetry = col
 		cfg.SampleEvery = s.Opt.SampleEvery
 	}
-	start := time.Now()
+	// Wall timing here feeds the progress line and run manifest only,
+	// never simulated state.
+	start := time.Now() //simlint:allow wallclock
 	res, err := w.Run(cfg, s.Opt.Size)
 	if err != nil {
 		return nil, fmt.Errorf("%s cluster=%d cache=%dKB: %w", app, clusterSize, cacheKB, err)
 	}
-	if err := s.export(key, cfg, col, res, time.Since(start)); err != nil {
+	if err := s.export(key, cfg, col, res, time.Since(start)); err != nil { //simlint:allow wallclock
 		return nil, err
 	}
 	s.runs[key] = res

@@ -1,0 +1,219 @@
+// Package lint implements simlint, the project's custom static-analysis
+// pass for determinism invariants. The simulator's headline guarantee —
+// ties in virtual time are broken by processor ID, so simulations are
+// bit-reproducible — and every reference stream the analytical models
+// consume depend on source-level discipline that the compiler does not
+// enforce. simlint does, mechanically, using only the standard library's
+// go/parser, go/ast, go/token and go/types (no x/tools):
+//
+//	wallclock  — time.Now/Since/Sleep and friends: wall-clock time must
+//	             never feed simulated state. Sanctioned uses (progress
+//	             reporting, run manifests) carry a directive.
+//	rand       — math/rand constructors must be seeded with a
+//	             compile-time constant or a processor-ID-derived
+//	             expression; the globally seeded top-level functions are
+//	             banned outright (they are randomly seeded since Go 1.20).
+//	maprange   — a range over a map must not write order-dependent
+//	             results: no appends to slices declared outside the loop,
+//	             no plain assignments to outer state, no float
+//	             accumulation. Integer += accumulation (commutative) and
+//	             map writes keyed by the range key are allowed.
+//	goroutine  — go statements are allowed only inside internal/engine;
+//	             everywhere else they would break the one-goroutine-at-a-
+//	             time token discipline.
+//	floatclock — floating-point values must not accumulate into Clock or
+//	             counter fields: int64(f)/Clock(f) inside a += or a
+//	             self-referencing assignment silently injects rounding
+//	             drift into virtual time.
+//
+// A finding is silenced by the directive comment
+//
+//	//simlint:allow <rule> [<rule>...]
+//
+// placed on the offending line, on the line directly above it, or in the
+// doc comment of the enclosing function declaration (which silences the
+// rule for the whole function).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule names, as used in findings and //simlint:allow directives.
+const (
+	RuleWallclock  = "wallclock"
+	RuleRand       = "rand"
+	RuleMapRange   = "maprange"
+	RuleGoroutine  = "goroutine"
+	RuleFloatClock = "floatclock"
+)
+
+// Rules lists every rule simlint implements.
+var Rules = []string{RuleWallclock, RuleRand, RuleMapRange, RuleGoroutine, RuleFloatClock}
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+// String formats a finding the way compilers do: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package ready for linting. The loader
+// produces these from the module tree; tests build them from fixture
+// corpora with synthetic import paths.
+type Package struct {
+	Path  string // import path, e.g. "clustersim/internal/engine"
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info // best-effort: stdlib imports may be stubbed
+}
+
+// simulationPackages are the import-path segments under
+// clustersim/internal/ whose state is part of the simulation proper.
+// Rule docs refer to these; wallclock/rand/maprange/floatclock apply to
+// every scanned package (the determinism argument extends to the
+// harness), goroutine exempts only the engine.
+var simulationPackages = []string{
+	"engine", "core", "cache", "coherence", "directory", "memory", "apps",
+}
+
+// IsSimulationPackage reports whether the import path belongs to the
+// simulation proper (engine, core, cache, coherence, directory, memory,
+// apps and their subpackages).
+func IsSimulationPackage(path string) bool {
+	for _, seg := range simulationPackages {
+		prefix := "clustersim/internal/" + seg
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSet records which (line, rule) pairs of one file are silenced.
+type allowSet map[int]map[string]bool
+
+func (a allowSet) add(line int, rules []string) {
+	m := a[line]
+	if m == nil {
+		m = make(map[string]bool)
+		a[line] = m
+	}
+	for _, r := range rules {
+		m[r] = true
+	}
+}
+
+func (a allowSet) allows(line int, rule string) bool {
+	return a[line][rule] || a[line-1][rule]
+}
+
+// directiveRules parses "//simlint:allow wallclock rand" into its rule
+// list, or nil if the comment is not a directive.
+func directiveRules(text string) []string {
+	const prefix = "//simlint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	if rest == "" {
+		return nil
+	}
+	return strings.Fields(rest)
+}
+
+// collectAllows builds the silence table for one file: each directive
+// covers its own line and the next; a directive in a function's doc
+// comment covers the whole function body.
+func collectAllows(fset *token.FileSet, file *ast.File) allowSet {
+	allows := make(allowSet)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rules := directiveRules(c.Text)
+			if rules == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			allows.add(line, rules)
+			allows.add(line+1, rules)
+		}
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		var rules []string
+		for _, c := range fd.Doc.List {
+			rules = append(rules, directiveRules(c.Text)...)
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		from := fset.Position(fd.Pos()).Line
+		to := fset.Position(fd.End()).Line
+		for line := from; line <= to; line++ {
+			allows.add(line, rules)
+		}
+	}
+	return allows
+}
+
+// Check runs every rule over the package and returns the findings that
+// are not silenced by directives, sorted by position.
+func Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		allows := collectAllows(pkg.Fset, file)
+		fc := &fileChecker{pkg: pkg, file: file, imports: importNames(file)}
+		for _, f := range fc.check() {
+			if allows.allows(f.Pos.Line, f.Rule) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// importNames maps the identifiers a file uses for its imports to import
+// paths, honouring renames ("crand" -> "crypto/rand"). Dot and blank
+// imports are skipped: neither produces a selector the rules match on.
+func importNames(file *ast.File) map[string]string {
+	out := make(map[string]string)
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		out[name] = path
+	}
+	return out
+}

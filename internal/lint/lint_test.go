@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each testdata corpus directory to the synthetic
+// import path it is checked under. goroutine/goroutine_engine share
+// their source shape but differ in path — the rule keys off the path.
+var fixtureCases = []struct {
+	dir  string
+	path string
+}{
+	{"wallclock", "clustersim/internal/core"},
+	{"randseed", "clustersim/internal/apps/randfix"},
+	{"maprange", "clustersim/internal/coherence"},
+	{"goroutine", "clustersim/internal/coherence"},
+	{"goroutine_engine", "clustersim/internal/engine"},
+	{"floatclock", "clustersim/internal/core"},
+}
+
+var wantMarker = regexp.MustCompile(`// want:([a-z]+)`)
+
+// expectedFindings scans a fixture directory for "// want:<rule>"
+// markers and returns the expected finding multiset keyed
+// "file:line:rule".
+func expectedFindings(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), i+1, m[1])]++
+			}
+		}
+	}
+	return want
+}
+
+// TestFixtureCorpus proves each rule fires on its known-bad fixture at
+// exactly the marked lines and stays silent on the known-good one
+// (which also exercises every directive placement).
+func TestFixtureCorpus(t *testing.T) {
+	fired := make(map[string]bool)
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := (&Loader{}).LoadDir(dir, tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]int)
+			for _, f := range Check(pkg) {
+				got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)]++
+				fired[f.Rule] = true
+			}
+			want := expectedFindings(t, dir)
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("expected %d finding(s) at %s, got %d", n, k, got[k])
+				}
+			}
+			for k, n := range got {
+				if want[k] != n {
+					t.Errorf("unexpected finding(s) at %s (%d)", k, n)
+				}
+			}
+		})
+	}
+	for _, r := range Rules {
+		if !fired[r] {
+			t.Errorf("rule %s never fired across the corpus", r)
+		}
+	}
+}
+
+// TestTreeClean runs the full linter over the module itself, including
+// test files: the tree must stay directive-clean (this is the in-test
+// twin of `make lint`).
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against GOROOT source")
+	}
+	pkgs, err := (&Loader{Tests: true}).Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range Check(pkg) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+func TestDirectiveRules(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//simlint:allow wallclock", []string{"wallclock"}},
+		{"//simlint:allow wallclock rand", []string{"wallclock", "rand"}},
+		{"//simlint:allow", nil},            // no rules named
+		{"// simlint:allow wallclock", nil}, // space breaks the directive
+		{"// just a comment", nil},
+	}
+	for _, tc := range cases {
+		if got := directiveRules(tc.text); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("directiveRules(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestIsSimulationPackage(t *testing.T) {
+	cases := map[string]bool{
+		"clustersim/internal/engine":     true,
+		"clustersim/internal/coherence":  true,
+		"clustersim/internal/apps/radix": true,
+		"clustersim/internal/telemetry":  false,
+		"clustersim/cmd/clustersim":      false,
+		"clustersim/internal/enginex":    false,
+	}
+	for path, want := range cases {
+		if got := IsSimulationPackage(path); got != want {
+			t.Errorf("IsSimulationPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package clockfix is the floatclock-rule fixture: float values
+// accumulating into integer virtual-time storage.
+package clockfix
+
+// Clock counts simulated cycles.
+type Clock int64
+
+type counters struct {
+	Busy Clock
+	Hits uint64
+}
+
+// Accumulate drips float rounding error into virtual time, once through
+// a compound assignment and once through a self-referencing plain one.
+func Accumulate(c *counters, dilation float64) {
+	c.Busy += Clock(dilation * 100)       // want:floatclock
+	c.Hits = c.Hits + uint64(dilation*10) // want:floatclock
+}

@@ -1,0 +1,18 @@
+package clockfix
+
+// Scale applies the analytic dilation once, outside any accumulation.
+func Scale(total Clock, dilation float64) Clock {
+	return Clock(float64(total) * dilation)
+}
+
+// Reset assigns a one-shot converted value, which is allowed: only
+// accumulation compounds rounding error.
+func Reset(c *counters, estimate float64) {
+	c.Busy = Clock(estimate)
+}
+
+// Advance accumulates integer cycles only.
+func Advance(c *counters, cycles Clock) {
+	c.Busy += cycles
+	c.Hits++
+}

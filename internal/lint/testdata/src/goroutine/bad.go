@@ -1,0 +1,8 @@
+// Package gofix is the goroutine-rule fixture; the test checks it under
+// a non-engine import path, where the spawn is banned.
+package gofix
+
+// Spawn forks a worker outside the engine's token discipline.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want:goroutine
+}

@@ -1,0 +1,9 @@
+// Package enginefix is the goroutine-rule counter-fixture; the test
+// checks it under clustersim/internal/engine, the one package allowed
+// to spawn goroutines.
+package enginefix
+
+// Spawn forks a processor goroutine, which only the engine may do.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}

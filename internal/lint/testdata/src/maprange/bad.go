@@ -1,0 +1,26 @@
+// Package maprangefix is the maprange-rule fixture: order-dependent
+// writes under a map iteration.
+package maprangefix
+
+// Collect leaks map iteration order into a slice and last-writer state.
+func Collect(m map[string]int) ([]string, string) {
+	var names []string
+	last := ""
+	for k := range m {
+		names = append(names, k) // want:maprange
+		last = k                 // want:maprange
+	}
+	return names, last
+}
+
+// Mean accumulates floats in iteration order; float addition is not
+// associative, so the sums depend on the (randomized) order.
+func Mean(m map[string]float64) (float64, float64) {
+	var sum float64
+	var weight float64
+	for _, v := range m {
+		sum += v // want:maprange
+		weight++ // want:maprange
+	}
+	return sum, weight
+}

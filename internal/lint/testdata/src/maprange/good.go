@@ -1,0 +1,28 @@
+package maprangefix
+
+import "sort"
+
+// Rekey writes per-key slots and integer accumulators — both order-
+// independent.
+func Rekey(m map[string]int) (map[string]int, int, int) {
+	out := make(map[string]int, len(m))
+	total := 0
+	hits := 0
+	for k, v := range m {
+		out[k] = v * 2
+		total += v
+		hits++
+	}
+	return out, total, hits
+}
+
+// Sorted collects keys and then sorts them, which the directive
+// sanctions.
+func Sorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) //simlint:allow maprange
+	}
+	sort.Strings(names)
+	return names
+}

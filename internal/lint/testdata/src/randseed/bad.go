@@ -1,0 +1,11 @@
+// Package randfix is the rand-rule fixture: a runtime-valued seed and a
+// draw from the globally (randomly) seeded source.
+package randfix
+
+import "math/rand"
+
+// Draw seeds from a runtime value and draws from the global source.
+func Draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // want:rand
+	return r.Intn(8) + rand.Intn(8)     // want:rand
+}

@@ -1,0 +1,16 @@
+package randfix
+
+import "math/rand"
+
+type pe struct{ id int }
+
+// ID returns the processor index, the sanctioned seed ingredient.
+func (p pe) ID() int { return p.id }
+
+// Streams builds one constant-seeded and one processor-keyed stream;
+// draws on explicit streams are fine.
+func Streams(p pe) (int, int) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(int64(17 + p.ID())))
+	return a.Intn(4), b.Intn(4)
+}

@@ -1,0 +1,14 @@
+// Package wallclockfix is the wallclock-rule fixture: host-clock reads
+// with no directive.
+package wallclockfix
+
+import "time"
+
+// Stamp feeds wall-clock values into (what stands in for) simulated
+// state.
+func Stamp() int64 {
+	t := time.Now()    // want:wallclock
+	d := time.Since(t) // want:wallclock
+	time.Sleep(d)      // want:wallclock
+	return t.UnixNano() + int64(d)
+}

@@ -1,0 +1,20 @@
+package wallclockfix
+
+import "time"
+
+// Wall times a host-side progress report; each clock read carries a
+// directive on its own line or the line above.
+func Wall() time.Duration {
+	start := time.Now() //simlint:allow wallclock
+	//simlint:allow wallclock
+	elapsed := time.Since(start)
+	const tick = 10 * time.Millisecond // Duration arithmetic alone is fine.
+	return elapsed + tick
+}
+
+// Report is sanctioned wholesale by the directive in its doc comment.
+//
+//simlint:allow wallclock
+func Report() (time.Time, *time.Timer) {
+	return time.Now(), time.NewTimer(time.Second)
+}

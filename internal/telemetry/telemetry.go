@@ -107,10 +107,10 @@ type SyncObject struct {
 // SyncEpisode is one processor's wait on one synchronisation object:
 // the span from its arrival to its release.
 type SyncEpisode struct {
-	Proc     int32
-	SyncID   int32
-	Arrival  Clock
-	Release  Clock
+	Proc    int32
+	SyncID  int32
+	Arrival Clock
+	Release Clock
 }
 
 // Mark is a named instant on the global timeline (e.g. the start of the
@@ -139,10 +139,10 @@ func (s SchedMetrics) MeanReadyDepth() float64 {
 // peTrack accumulates one processor's timeline, coalescing adjacent
 // same-kind spans.
 type peTrack struct {
-	slices  []Slice
-	curKind SliceKind
+	slices           []Slice
+	curKind          SliceKind
 	curStart, curEnd Clock
-	open bool
+	open             bool
 }
 
 func (t *peTrack) add(kind SliceKind, start, dur Clock) {
