@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sanitize-suite test test-short race bench experiments paper examples clean
+.PHONY: all build vet lint simlint sanitize-suite profile-suite test test-short race bench experiments paper examples clean
 
 all: build lint test
 
@@ -26,6 +26,27 @@ simlint:
 # protocol regression fails loudly rather than skewing the tables.
 sanitize-suite: build
 	$(GO) run ./cmd/experiments -procs 16 -size test -sanitize fig2 table3
+
+# Sharing-profiler smoke test: run MP3D with -profile, render the flat
+# report with tracetool, and diff it against the checked-in golden. The
+# simulator is bit-reproducible, so any drift is a real behaviour change
+# (update the golden deliberately with `make profile-golden`).
+PROFILE_OUT ?= /tmp/clustersim-profile
+PROFILE_RUN = $(GO) run ./cmd/clustersim -app mp3d -size test -procs 16 -cluster 4 -cache 1 \
+		-top 5 -profile $(PROFILE_OUT)/mp3d.profile.json
+profile-suite: build
+	@mkdir -p $(PROFILE_OUT)
+	$(PROFILE_RUN) > /dev/null
+	$(GO) run ./cmd/tracetool profile $(PROFILE_OUT)/mp3d.profile.json > $(PROFILE_OUT)/mp3d.flat
+	diff -u internal/profile/testdata/mp3d-c4-1k.flat.golden $(PROFILE_OUT)/mp3d.flat
+	@echo "profile-suite: flat report matches golden"
+
+profile-golden: build
+	@mkdir -p $(PROFILE_OUT)
+	$(PROFILE_RUN) > /dev/null
+	$(GO) run ./cmd/tracetool profile $(PROFILE_OUT)/mp3d.profile.json \
+		> internal/profile/testdata/mp3d-c4-1k.flat.golden
+	@echo "profile-golden: regenerated internal/profile/testdata/mp3d-c4-1k.flat.golden"
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,12 @@
 //	-json             print a JSON run manifest instead of the text report
 //	-sample N         sample per-cluster counter deltas every N cycles
 //	-progress         stream sampling progress to stderr
+//	-profile out.json write a data-centric sharing profile (misses
+//	                  classified cold/replacement/true/false-sharing per
+//	                  region, hot lines, page locality) and print the
+//	                  flat report; render later with `tracetool profile`
+//	-top N            hot lines to rank in the profile (default 10)
+//	-regions          coarse per-region reference counters (text report)
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
 
@@ -38,7 +45,7 @@ func main() {
 		size     = flag.String("size", "default", "problem size: test, default or paper")
 		line     = flag.Uint64("line", 64, "cache line bytes")
 		quantum  = flag.Int64("quantum", 0, "event-ordering slack in cycles (0 = exact)")
-		profile  = flag.Bool("profile", false, "attribute references to named allocations")
+		regions  = flag.Bool("regions", false, "attribute references to named allocations (coarse text report)")
 		sanitize = flag.Bool("sanitize", false, "cross-validate directory/cache state after every transaction (requires -quantum 0)")
 		org      = flag.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
 
@@ -46,6 +53,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print a JSON run manifest instead of the text report")
 		sample   = flag.Int64("sample", 0, "telemetry sampling interval in cycles (0 = off)")
 		progress = flag.Bool("progress", false, "stream sampling progress to stderr")
+		profOut  = flag.String("profile", "", "write a sharing-profile JSON file and print the flat report")
+		topLines = flag.Int("top", 10, "hot cache lines to rank in the sharing profile")
 	)
 	flag.Parse()
 
@@ -63,7 +72,7 @@ func main() {
 	cfg.CacheKBPerProc = *cacheKB
 	cfg.LineBytes = *line
 	cfg.Quantum = *quantum
-	cfg.ProfileRegions = *profile
+	cfg.ProfileRegions = *regions
 	cfg.Sanitize = *sanitize
 	switch *org {
 	case "shared-cache":
@@ -84,13 +93,18 @@ func main() {
 	if *traceOut != "" || *jsonOut || *sample > 0 || *progress {
 		col = telemetry.New()
 		if *progress && *sample == 0 {
-			*sample = 1_000_000
+			*sample = telemetry.SampleInterval(0)
 		}
 		if *progress {
 			col.SetProgress(os.Stderr, *app)
 		}
 		cfg.Telemetry = col
 		cfg.SampleEvery = *sample
+	}
+	var prof *profile.Collector
+	if *profOut != "" {
+		prof = profile.New()
+		cfg.Profile = prof
 	}
 
 	if err := cfg.Validate(); err != nil {
@@ -101,6 +115,20 @@ func main() {
 		fatal(err)
 	}
 
+	var profReport *profile.Report
+	if prof != nil {
+		profReport = prof.Report(*topLines)
+		profReport.App, profReport.Size = *app, sz.String()
+		if h, err := telemetry.HashConfig(cfg); err == nil {
+			profReport.ConfigHash = h
+		}
+		if err := writeProfile(*profOut, profReport); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clustersim: wrote sharing profile to %s (render with `tracetool profile %s`)\n",
+			*profOut, *profOut)
+	}
+
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, col, *app, sz.String(), cfg); err != nil {
 			fatal(err)
@@ -109,13 +137,18 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := telemetry.WriteManifest(os.Stdout, telemetry.Manifest{
+		m := telemetry.Manifest{
 			App:       *app,
 			Size:      sz.String(),
 			Config:    cfg,
 			Result:    res,
+			Memory:    res.MemoryReport(),
 			Telemetry: col.SelfReport(),
-		}); err != nil {
+		}
+		if profReport != nil {
+			m.Profile = profReport.Summary()
+		}
+		if err := telemetry.WriteManifest(os.Stdout, m); err != nil {
 			fatal(err)
 		}
 		return
@@ -123,10 +156,23 @@ func main() {
 
 	fmt.Printf("%s (%s size)\n", w.Name, sz)
 	res.WriteSummary(os.Stdout)
-	if *profile {
+	if *regions {
 		fmt.Println("region profile:")
 		res.WriteRegionProfile(os.Stdout)
 	}
+	if profReport != nil {
+		fmt.Println()
+		profile.WriteFlat(os.Stdout, profReport)
+	}
+}
+
+func writeProfile(path string, r *profile.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return profile.WriteReport(f, r)
 }
 
 func writeTrace(path string, col *telemetry.Collector, app, size string, cfg core.Config) error {

@@ -33,6 +33,8 @@ func main() {
 		progress = flag.Bool("progress", false, "log each completed simulation point to stderr")
 		sample   = flag.Int64("sample", 0, "telemetry sampling interval in cycles (0 = off)")
 		traceDir = flag.String("trace", "", "write one Chrome trace-event JSON per run into this directory")
+		profDir  = flag.String("profile", "", "write one sharing-profile JSON per run into this directory")
+		profTop  = flag.Int("top", 10, "hot cache lines to rank in each sharing profile")
 		jsonOut  = flag.String("json", "", "append one JSON run manifest per line (JSONL) to this file")
 	)
 	flag.Parse()
@@ -52,6 +54,8 @@ func main() {
 	opt.CSV = *csvOut
 	opt.SampleEvery = *sample
 	opt.TraceDir = *traceDir
+	opt.ProfileDir = *profDir
+	opt.ProfileTop = *profTop
 	if *progress {
 		opt.Progress = os.Stderr
 	}

@@ -19,11 +19,18 @@
 // clustersim -trace and experiments -trace):
 //
 //	tracetool telemetry -i out.json
+//
+// Render a sharing profile (the JSON written by clustersim -profile),
+// or the per-region delta between two profiles (new minus old):
+//
+//	tracetool profile out.json
+//	tracetool profile -top 20 before.json after.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -31,50 +38,114 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 	"clustersim/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	switch os.Args[1] {
-	case "record":
-		record(os.Args[2:])
-	case "replay":
-		replay(os.Args[2:])
-	case "telemetry":
-		telemetrySummary(os.Args[2:])
-	default:
-		usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(2)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool record|replay|telemetry [flags]")
-	os.Exit(2)
+// run dispatches one subcommand. Every failure — unknown subcommand,
+// missing input, unparseable file — surfaces as a non-nil error so the
+// process exits nonzero.
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:], out)
+	case "replay":
+		return replay(args[1:], out)
+	case "telemetry":
+		return telemetrySummary(args[1:], out)
+	case "profile":
+		return profileCmd(args[1:], out)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile [flags]")
+}
+
+// profileCmd renders one sharing profile as the flat table, or diffs
+// two (new minus old):
+//
+//	tracetool profile [-top N] <profile.json> [new.json]
+func profileCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	top := fs.Int("top", 0, "re-rank to the top N hot lines (0 = keep the file's ranking)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch fs.NArg() {
+	case 1:
+		r, err := readProfile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *top > 0 && len(r.HotLines) > *top {
+			r.HotLines = r.HotLines[:*top]
+		}
+		profile.WriteFlat(out, r)
+		return nil
+	case 2:
+		old, err := readProfile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cur, err := readProfile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		profile.WriteDiff(out, old, cur)
+		return nil
+	default:
+		return fmt.Errorf("profile: want one profile.json (render) or two (diff old new), got %d args", fs.NArg())
+	}
+}
+
+func readProfile(path string) (*profile.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := profile.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }
 
 // telemetrySummary digests a Chrome trace-event file written by the
 // telemetry exporter (clustersim -trace / experiments -trace):
 //
 //	tracetool telemetry -i out.json
-func telemetrySummary(args []string) {
-	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+func telemetrySummary(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("telemetry", flag.ContinueOnError)
 	in := fs.String("i", "out.json", "input Chrome trace-event JSON file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	sum, err := telemetry.SummarizeChromeTrace(f)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("%s: %w", *in, err)
 	}
-	fmt.Printf("%s: %d events, %d PE tracks, horizon %d cycles\n",
+	fmt.Fprintf(out, "%s: %d events, %d PE tracks, horizon %d cycles\n",
 		*in, sum.Events, sum.PEs, sum.LastTs)
 	if len(sum.OtherData) > 0 {
 		keys := make([]string, 0, len(sum.OtherData))
@@ -83,7 +154,7 @@ func telemetrySummary(args []string) {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("  %-12s %s\n", k, sum.OtherData[k])
+			fmt.Fprintf(out, "  %-12s %s\n", k, sum.OtherData[k])
 		}
 	}
 	var kinds []string
@@ -93,34 +164,37 @@ func telemetrySummary(args []string) {
 		total += v
 	}
 	sort.Strings(kinds)
-	fmt.Println("PE cycles by state:")
+	fmt.Fprintln(out, "PE cycles by state:")
 	for _, k := range kinds {
 		v := sum.ByKind[k]
-		fmt.Printf("  %-12s %14d cycles (%5.1f%%)\n", k, v, 100*float64(v)/float64(total))
+		fmt.Fprintf(out, "  %-12s %14d cycles (%5.1f%%)\n", k, v, 100*float64(v)/float64(total))
 	}
-	fmt.Printf("sync episodes:   %d\n", sum.SyncWaits)
-	fmt.Printf("counter samples: %d\n", sum.Counters)
+	fmt.Fprintf(out, "sync episodes:   %d\n", sum.SyncWaits)
+	fmt.Fprintf(out, "counter samples: %d\n", sum.Counters)
 	if len(sum.Marks) > 0 {
-		fmt.Printf("marks:           %s\n", strings.Join(sum.Marks, ", "))
+		fmt.Fprintf(out, "marks:           %s\n", strings.Join(sum.Marks, ", "))
 	}
+	return nil
 }
 
-func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+func record(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	app := fs.String("app", "radix", "application to trace")
 	procs := fs.Int("procs", 16, "total processors")
 	cluster := fs.Int("cluster", 1, "processors per cluster during recording")
 	size := fs.String("size", "test", "problem size: test, default or paper")
-	out := fs.String("o", "app.trace", "output trace file")
-	fs.Parse(args)
+	outFile := fs.String("o", "app.trace", "output trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sz, err := parseSize(*size)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w, err := registry.Lookup(*app)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	col := trace.NewCollector(*procs)
 	cfg := core.DefaultConfig()
@@ -128,37 +202,40 @@ func record(args []string) {
 	cfg.ClusterSize = *cluster
 	cfg.Tracer = col
 	if _, err := w.Run(cfg, sz); err != nil {
-		fatal(err)
+		return err
 	}
 	tr := col.Finish()
-	f, err := os.Create(*out)
+	f, err := os.Create(*outFile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := trace.Write(f, tr); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("recorded %d events (%d regions, %d sync objects) to %s\n",
-		len(tr.Events), len(tr.Regions), len(tr.Syncs), *out)
+	fmt.Fprintf(out, "recorded %d events (%d regions, %d sync objects) to %s\n",
+		len(tr.Events), len(tr.Regions), len(tr.Syncs), *outFile)
+	return nil
 }
 
-func replay(args []string) {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func replay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	in := fs.String("i", "app.trace", "input trace file")
 	cluster := fs.Int("cluster", 1, "processors per cluster")
 	cacheKB := fs.Int("cache", 0, "cache KB per processor (0 = infinite)")
 	org := fs.String("org", "shared-cache", "cluster organization: shared-cache or shared-memory")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("%s: %w", *in, err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Procs = tr.Procs
@@ -170,14 +247,15 @@ func replay(args []string) {
 	case "shared-memory":
 		cfg.Organization = core.SharedMemory
 	default:
-		fatal(fmt.Errorf("unknown organization %q", *org))
+		return fmt.Errorf("unknown organization %q", *org)
 	}
 	res, err := trace.Replay(cfg, tr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("replayed %d events\n", len(tr.Events))
-	res.WriteSummary(os.Stdout)
+	fmt.Fprintf(out, "replayed %d events\n", len(tr.Events))
+	res.WriteSummary(out)
+	return nil
 }
 
 func parseSize(s string) (apps.Size, error) {
@@ -190,9 +268,4 @@ func parseSize(s string) (apps.Size, error) {
 		return apps.SizePaper, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracetool:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersim/internal/profile"
+)
+
+// Every subcommand must report missing or unparseable inputs as errors
+// (the process then exits nonzero) instead of succeeding silently.
+func TestBadInputsError(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at all {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "does-not-exist")
+
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"replay", "-i", missing},
+		{"replay", "-i", garbage},
+		{"telemetry", "-i", missing},
+		{"telemetry", "-i", garbage},
+		{"profile", missing},
+		{"profile", garbage},
+		{"profile"},                            // no input at all
+		{"profile", garbage, garbage, garbage}, // too many
+		{"record", "-app", "no-such-app"},
+		{"record", "-size", "enormous"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// Errors about a file name the file, so a user with several inputs can
+// tell which one is bad.
+func TestErrorsNameTheFile(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "mangled.json")
+	if err := os.WriteFile(garbage, []byte(`{"schema":"wrong/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"profile", garbage}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "mangled.json") {
+		t.Errorf("error %v does not name the bad file", err)
+	}
+}
+
+func writeTestProfile(t *testing.T, path string, misses uint64) {
+	t.Helper()
+	r := &profile.Report{
+		Schema:    profile.SchemaV1,
+		App:       "mp3d",
+		Size:      "test",
+		LineBytes: 64,
+		WordBytes: 8,
+		PageBytes: 4096,
+		Clusters:  4,
+		Regions: []profile.RegionReport{
+			{Name: "particles", Misses: profile.ClassCounts{Cold: misses, FalseSharing: 2}},
+			{Name: "cells", Misses: profile.ClassCounts{TrueSharing: 1}},
+		},
+		HotLines: []profile.LineReport{
+			{Line: 0x100, Addr: 0x4000, Region: "particles", Misses: profile.ClassCounts{Cold: misses}},
+		},
+	}
+	r.Totals.Misses = profile.ClassCounts{Cold: misses, TrueSharing: 1, FalseSharing: 2}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := profile.WriteReport(f, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// `tracetool profile one.json` renders the flat table; with two inputs
+// it renders the per-region delta.
+func TestProfileRenderAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeTestProfile(t, a, 5)
+	writeTestProfile(t, b, 9)
+
+	var flat bytes.Buffer
+	if err := run([]string{"profile", a}, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"particles", "cells", "classified misses", "hot lines"} {
+		if !strings.Contains(flat.String(), want) {
+			t.Errorf("flat output missing %q:\n%s", want, flat.String())
+		}
+	}
+
+	var diff bytes.Buffer
+	if err := run([]string{"profile", a, b}, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff.String(), "Δmisses +4") {
+		t.Errorf("diff output missing the +4 cold-miss delta:\n%s", diff.String())
+	}
+}

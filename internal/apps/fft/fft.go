@@ -74,8 +74,8 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := apps.NewC128(m, n, "A")
-	b := apps.NewC128(m, n, "B")
+	a := apps.NewC128(m, n, "data-matrix")
+	b := apps.NewC128(m, n, "transpose-matrix")
 	roots := apps.NewC128(m, r, "roots") // shared read-only roots of unity for row FFTs
 	input := make([]complex128, n)       // plain copy for verification
 

@@ -157,6 +157,24 @@ type MemoryModel interface {
 	CheckLine(addr memory.Addr, now Clock) error
 	// LineBytes returns the coherence granularity.
 	LineBytes() uint64
+	// SetObserver attaches a protocol-event observer (nil detaches).
+	SetObserver(o Observer)
+}
+
+// Observer receives protocol events the Access result cannot carry —
+// which cluster lost which line, and why. The sharing profiler
+// (internal/profile) is the one implementation. Observers must not
+// mutate the memory system; calls arrive in simulation order from the
+// goroutine holding the execution token.
+type Observer interface {
+	// Invalidated reports that victim cluster's copy of line was
+	// removed at now by a write from writerPE (in writerCluster). Only
+	// real copy losses are reported: a spurious invalidation message to
+	// a stale directory bit (hints-disabled ablation) is not.
+	Invalidated(line uint64, writerPE, writerCluster, victim int, now Clock)
+	// Evicted reports that cluster's copy of line was displaced by a
+	// capacity or conflict replacement at now.
+	Evicted(line uint64, cluster int, now Clock)
 }
 
 // Stats holds per-cluster protocol event counters.
@@ -177,6 +195,7 @@ type System struct {
 	lineShift   uint
 	numClusters int
 	clusterStat []Stats
+	obs         Observer
 
 	// disableHints suppresses replacement hints (ablation): the
 	// directory keeps stale sharer bits for silently dropped clean
@@ -234,6 +253,11 @@ func NewSystemAssoc(as *memory.AddressSpace, numClusters, cacheLines, ways int, 
 // DisableReplacementHints turns off the paper's replacement hints, for
 // the ablation benchmark. Call before simulation starts.
 func (s *System) DisableReplacementHints() { s.disableHints = true }
+
+// SetObserver attaches a protocol-event observer (the sharing
+// profiler). Call before simulation starts; a nil observer keeps the
+// hot paths at a single branch.
+func (s *System) SetObserver(o Observer) { s.obs = o }
 
 // LineBytes returns the coherence granularity.
 func (s *System) LineBytes() uint64 { return 1 << s.lineShift }
@@ -321,7 +345,7 @@ func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
 				return Access{Class: WriteMerge}
 			}
 			// Write to an in-flight read fill: upgrade the fill.
-			s.invalidateOthers(line, cluster)
+			s.invalidateOthers(line, cluster, proc, now)
 			l.FillState = cache.Exclusive
 			s.dir.SetExclusive(line, cluster)
 			return Access{Class: Upgrade}
@@ -330,7 +354,7 @@ func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
 		case cache.Exclusive:
 			return Access{Class: Hit}
 		case cache.Shared:
-			s.invalidateOthers(line, cluster)
+			s.invalidateOthers(line, cluster, proc, now)
 			l.State = cache.Exclusive
 			s.dir.SetExclusive(line, cluster)
 			return Access{Class: Upgrade}
@@ -357,7 +381,7 @@ func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
 			hops = HopRemoteClean
 		}
 	}
-	s.invalidateOthers(line, cluster)
+	s.invalidateOthers(line, cluster, proc, now)
 	s.dir.SetExclusive(line, cluster)
 	s.insert(cluster, line, cache.Exclusive, now, now+s.lat.of(hops))
 	// Stall carries the fetch latency for the blocking-writes ablation;
@@ -370,6 +394,9 @@ func (s *System) insert(cluster int, line uint64, fill cache.State, now, readyAt
 	victim, evicted := s.caches[cluster].Insert(line, fill, now, readyAt)
 	if !evicted {
 		return
+	}
+	if s.obs != nil {
+		s.obs.Evicted(victim.Tag, cluster, now)
 	}
 	switch victim.State {
 	case cache.Shared:
@@ -385,16 +412,20 @@ func (s *System) insert(cluster int, line uint64, fill cache.State, now, readyAt
 }
 
 // invalidateOthers removes every copy of line outside cluster, updating
-// the directory and the invalidation counters.
-func (s *System) invalidateOthers(line uint64, cluster int) {
+// the directory and the invalidation counters. proc is the writing
+// processor and now the write's issue time, for the observer.
+func (s *System) invalidateOthers(line uint64, cluster, proc int, now Clock) {
 	mask := s.dir.ClearAll(line)
 	mask &^= 1 << uint(cluster)
 	for mask != 0 {
 		j := bits.TrailingZeros64(mask)
 		mask &^= 1 << uint(j)
-		s.caches[j].Invalidate(line)
+		lost := s.caches[j].Invalidate(line)
 		s.clusterStat[j].InvalidationsReceived++
 		s.clusterStat[cluster].InvalidationsSent++
+		if lost && s.obs != nil {
+			s.obs.Invalidated(line, proc, cluster, j, now)
+		}
 	}
 }
 

@@ -40,6 +40,7 @@ type MemClusterSystem struct {
 	lineShift   uint
 	numClusters int
 	clusterStat []Stats
+	obs         Observer
 }
 
 // NewMemClusterSystem builds a shared-main-memory-cluster system.
@@ -109,6 +110,12 @@ func (s *MemClusterSystem) ResetStats() {
 
 // L1 returns a processor's private cache, for inspection.
 func (s *MemClusterSystem) L1(proc int) cache.Store { return s.l1[proc] }
+
+// SetObserver attaches a protocol-event observer. Only cluster-level
+// copy losses are reported: a private-cache eviction or invalidation
+// whose line the attraction memory retains is invisible, because the
+// cluster never lost the data.
+func (s *MemClusterSystem) SetObserver(o Observer) { s.obs = o }
 
 // InCluster reports whether the cluster's attraction memory holds line.
 func (s *MemClusterSystem) InCluster(cluster int, line uint64) bool {
@@ -181,7 +188,7 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 			if l.FillState == cache.Exclusive {
 				return Access{Class: WriteMerge}
 			}
-			s.makeExclusive(proc, cluster, line)
+			s.makeExclusive(proc, cluster, line, now)
 			l.FillState = cache.Exclusive
 			return Access{Class: Upgrade}
 		}
@@ -189,14 +196,14 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 		case cache.Exclusive:
 			return Access{Class: Hit}
 		case cache.Shared:
-			s.makeExclusive(proc, cluster, line)
+			s.makeExclusive(proc, cluster, line, now)
 			l.State = cache.Exclusive
 			return Access{Class: Upgrade}
 		}
 	}
 	if _, ok := s.attraction[cluster][line]; ok {
 		// In-cluster write miss: bus fetch (hidden) plus ownership.
-		s.makeExclusive(proc, cluster, line)
+		s.makeExclusive(proc, cluster, line, now)
 		s.insertL1(proc, cluster, line, cache.Exclusive, now, now+s.bus)
 		return Access{Class: WriteMiss, Hops: HopIntraCluster, Stall: s.bus}
 	}
@@ -221,7 +228,7 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 			hops = HopRemoteClean
 		}
 	}
-	s.invalidateOtherClusters(line, cluster)
+	s.invalidateOtherClusters(line, cluster, proc, now)
 	s.dir.SetExclusive(line, cluster)
 	s.attraction[cluster][line] = cache.Exclusive
 	s.insertL1(proc, cluster, line, cache.Exclusive, now, now+s.lat.of(hops))
@@ -231,9 +238,9 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 // makeExclusive gives proc's cluster exclusive ownership of line and
 // removes every other copy: other clusters entirely, and the sibling
 // processors' private caches within the cluster.
-func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64) {
+func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64, now Clock) {
 	if st, ok := s.attraction[cluster][line]; !ok || st != cache.Exclusive {
-		s.invalidateOtherClusters(line, cluster)
+		s.invalidateOtherClusters(line, cluster, proc, now)
 		s.dir.SetExclusive(line, cluster)
 		s.attraction[cluster][line] = cache.Exclusive
 	}
@@ -251,7 +258,9 @@ func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64) {
 
 // invalidateOtherClusters removes line from every cluster except the
 // writer's: their attraction memories and all their processors' caches.
-func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster int) {
+// The write was issued by proc at time now; each victim cluster's loss
+// is reported to the observer.
+func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster, proc int, now Clock) {
 	mask := s.dir.ClearAll(line)
 	mask &^= 1 << uint(cluster)
 	for mask != 0 {
@@ -264,6 +273,9 @@ func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster int) {
 		}
 		s.clusterStat[j].InvalidationsReceived++
 		s.clusterStat[cluster].InvalidationsSent++
+		if s.obs != nil {
+			s.obs.Invalidated(line, proc, cluster, j, now)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"clustersim/internal/cache"
 	"clustersim/internal/coherence"
 	"clustersim/internal/memory"
+	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
 
@@ -135,6 +136,14 @@ type Config struct {
 	// episodes and scheduler self-metrics (see the telemetry package).
 	// Excluded from the JSON manifest and the config hash.
 	Telemetry *telemetry.Collector `json:"-"`
+
+	// Profile, when non-nil, receives every memory reference and
+	// coherence protocol event for data-centric sharing analysis: misses
+	// classified cold / replacement / true-sharing / false-sharing and
+	// attributed to allocator regions, hot lines and page homes (see the
+	// profile package). Purely observational, so it is excluded from the
+	// JSON manifest and the config hash.
+	Profile *profile.Collector `json:"-"`
 
 	// SampleEvery, when positive and Telemetry is attached, snapshots
 	// per-cluster counter deltas every SampleEvery simulated cycles

@@ -6,6 +6,7 @@ import (
 	"clustersim/internal/coherence"
 	"clustersim/internal/engine"
 	"clustersim/internal/memory"
+	"clustersim/internal/profile"
 	"clustersim/internal/sanitizer"
 	"clustersim/internal/stats"
 	"clustersim/internal/telemetry"
@@ -38,6 +39,11 @@ type Machine struct {
 	// nextSample is the next interval-sampler deadline.
 	tel        *telemetry.Collector
 	nextSample Clock
+
+	// prof, when set, receives every reference and protocol event
+	// (Config.Profile). Like tel and san, the hot paths gate on the nil
+	// check alone.
+	prof *profile.Collector
 
 	// san, when set, validates every coherence transaction
 	// (Config.Sanitize). The hot paths gate on the nil check alone, so a
@@ -105,6 +111,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if cfg.SampleEvery > 0 {
 			m.nextSample = cfg.SampleEvery
 		}
+	}
+	if cfg.Profile != nil {
+		m.prof = cfg.Profile
+		m.prof.Start(as, cfg.NumClusters(), cfg.LineBytes)
+		sys.SetObserver(m.prof)
 	}
 	return m, nil
 }
@@ -189,6 +200,12 @@ func (m *Machine) BeginMeasurement(p *Proc) {
 	if m.tel != nil {
 		m.tel.NoteStatsReset(m.origin)
 	}
+	if m.prof != nil {
+		// Zero the profile counters but keep presence and last-writer
+		// state: caches stay warm, so lines fetched during init must not
+		// look cold in the measured phase.
+		m.prof.Reset()
+	}
 }
 
 // maybeSample feeds the telemetry interval sampler once the virtual
@@ -199,8 +216,9 @@ func (m *Machine) maybeSample(now Clock) {
 		return
 	}
 	m.snapshotSample(now)
+	step := telemetry.SampleInterval(m.cfg.SampleEvery)
 	for m.nextSample <= now {
-		m.nextSample += m.cfg.SampleEvery
+		m.nextSample += step
 	}
 }
 
@@ -252,11 +270,12 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 		m.san.Final(last) // end-of-run full audit
 	}
 	res := &Result{
-		Config:    m.cfg,
-		Procs:     make([]stats.Proc, m.cfg.Procs),
-		Finish:    make([]Clock, m.cfg.Procs),
-		Clusters:  make([]coherence.Stats, m.cfg.NumClusters()),
-		Footprint: m.as.FootprintBytes(),
+		Config:      m.cfg,
+		Procs:       make([]stats.Proc, m.cfg.Procs),
+		Finish:      make([]Clock, m.cfg.Procs),
+		Clusters:    make([]coherence.Stats, m.cfg.NumClusters()),
+		Footprint:   m.as.FootprintBytes(),
+		Allocations: m.as.Regions(),
 	}
 	for i, p := range m.procs {
 		res.Procs[i] = p.stats

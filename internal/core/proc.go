@@ -59,6 +59,9 @@ func (p *Proc) Read(addr Addr) {
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountRead(acc)
 	}
+	if p.m.prof != nil {
+		p.m.prof.OnAccess(p.ID(), p.cluster, false, addr, acc, acc.Stall, issue)
+	}
 	p.pe.Advance(1)
 	p.stats.CPU++
 	if acc.Stall > 0 {
@@ -107,6 +110,15 @@ func (p *Proc) Write(addr Addr) {
 	p.stats.CountWrite(acc)
 	if rc := p.m.regionCounters(addr); rc != nil {
 		rc.CountWrite(acc)
+	}
+	if p.m.prof != nil {
+		// Stores only stall the processor under BlockingWrites; the
+		// profiler charges what the PE actually waited.
+		stall := Clock(0)
+		if p.m.cfg.BlockingWrites {
+			stall = acc.Stall
+		}
+		p.m.prof.OnAccess(p.ID(), p.cluster, true, addr, acc, stall, issue)
 	}
 	p.pe.Advance(1)
 	p.stats.CPU++

@@ -6,7 +6,9 @@ import (
 	"sort"
 
 	"clustersim/internal/coherence"
+	"clustersim/internal/memory"
 	"clustersim/internal/stats"
+	"clustersim/internal/telemetry"
 )
 
 // Result is the outcome of one simulation run.
@@ -18,9 +20,24 @@ type Result struct {
 	Clusters  []coherence.Stats
 	Footprint uint64 // bytes of simulated memory allocated
 
+	// Allocations is the named-region table of the run's address space,
+	// in allocation order — the map from addresses back to the data
+	// structures the application declared.
+	Allocations []memory.Region `json:",omitempty"`
+
 	// Regions holds per-allocation reference profiles when the machine
 	// ran with EnableRegionProfile.
 	Regions map[string]stats.Counters
+}
+
+// MemoryReport builds the run manifest's address-space block from the
+// run's footprint and named-region table.
+func (r *Result) MemoryReport() *telemetry.MemoryReport {
+	m := &telemetry.MemoryReport{FootprintBytes: r.Footprint}
+	for _, reg := range r.Allocations {
+		m.Regions = append(m.Regions, telemetry.RegionInfo{Name: reg.Name, Base: reg.Base, Size: reg.Size})
+	}
+	return m
 }
 
 // Aggregate sums the per-processor records.

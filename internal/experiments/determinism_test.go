@@ -8,6 +8,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
 
@@ -67,6 +68,71 @@ func TestCrossRunDeterminism(t *testing.T) {
 			if !bytes.Equal(first, sanitized) {
 				t.Errorf("sanitizer perturbed the run:\n plain:     %s\n sanitized: %s",
 					diffHint(first, sanitized), diffHint(sanitized, first))
+			}
+		})
+	}
+}
+
+// TestProfilerDeterminism attaches the sharing profiler to every
+// registered application and requires (a) the profiler is read-only —
+// the Result JSON and config hash stay byte-identical to an unprofiled
+// run — and (b) the profile report itself is byte-identical across two
+// profiled runs of the same configuration.
+func TestProfilerDeterminism(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(withProfile bool) (result, prof []byte, hash string) {
+				t.Helper()
+				cfg := detConfig()
+				var col *profile.Collector
+				if withProfile {
+					col = profile.New()
+					cfg.Profile = col
+				}
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := telemetry.HashConfig(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if col != nil {
+					rep := col.Report(10)
+					// The profiler classifies exactly the machine's fetch
+					// misses, no more, no fewer.
+					if got, want := rep.Totals.Misses.Total(), res.Aggregate().Misses(); got != want {
+						t.Errorf("profile classified %d misses, machine counted %d", got, want)
+					}
+					var buf bytes.Buffer
+					if err := profile.WriteReport(&buf, rep); err != nil {
+						t.Fatal(err)
+					}
+					prof = buf.Bytes()
+				}
+				return blob, prof, h
+			}
+			plain, _, hash1 := run(false)
+			profiled1, report1, hash2 := run(true)
+			if hash2 != hash1 {
+				t.Errorf("Profile changed the config hash: %s vs %s", hash2, hash1)
+			}
+			if !bytes.Equal(plain, profiled1) {
+				t.Errorf("profiler perturbed the run:\n plain:    %s\n profiled: %s",
+					diffHint(plain, profiled1), diffHint(profiled1, plain))
+			}
+			_, report2, _ := run(true)
+			if !bytes.Equal(report1, report2) {
+				t.Errorf("profile reports differ across identical runs:\n run 1: %s\n run 2: %s",
+					diffHint(report1, report2), diffHint(report2, report1))
+			}
+			if len(report1) == 0 || !bytes.Contains(report1, []byte(profile.SchemaV1)) {
+				t.Errorf("profile report missing schema header: %.120s", report1)
 			}
 		})
 	}

@@ -18,6 +18,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
 
@@ -58,6 +59,12 @@ type Options struct {
 	// TraceDir, when set, writes one Chrome trace-event JSON file per
 	// simulated point into the directory (created if missing).
 	TraceDir string
+	// ProfileDir, when set, attaches a sharing profiler to every run and
+	// writes one profile JSON per simulated point into the directory
+	// (created if missing). ProfileTop bounds the hot-line ranking
+	// (default 10).
+	ProfileDir string
+	ProfileTop int
 	// ManifestOut, when non-nil, receives one compact JSON run manifest
 	// per simulated point, one per line (JSONL).
 	ManifestOut io.Writer
@@ -122,6 +129,11 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		cfg.Telemetry = col
 		cfg.SampleEvery = s.Opt.SampleEvery
 	}
+	var prof *profile.Collector
+	if s.Opt.ProfileDir != "" {
+		prof = profile.New()
+		cfg.Profile = prof
+	}
 	// Wall timing here feeds the progress line and run manifest only,
 	// never simulated state.
 	start := time.Now() //simlint:allow wallclock
@@ -129,7 +141,7 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 	if err != nil {
 		return nil, fmt.Errorf("%s cluster=%d cache=%dKB: %w", app, clusterSize, cacheKB, err)
 	}
-	if err := s.export(key, cfg, col, res, time.Since(start)); err != nil { //simlint:allow wallclock
+	if err := s.export(key, cfg, col, prof, res, time.Since(start)); err != nil { //simlint:allow wallclock
 		return nil, err
 	}
 	s.runs[key] = res
@@ -142,12 +154,40 @@ func (o Options) observing() bool {
 }
 
 // export emits the per-point observability artifacts: a progress line,
-// a Chrome trace file, and a manifest JSONL row.
+// a Chrome trace file, a sharing-profile JSON, and a manifest JSONL row.
 func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
-	res *core.Result, wall time.Duration) error {
+	prof *profile.Collector, res *core.Result, wall time.Duration) error {
 	if s.Opt.Progress != nil {
 		fmt.Fprintf(s.Opt.Progress, "ran %s cluster=%d cache=%s: exec %d cycles (wall %v)\n",
 			key.app, key.clusterSize, cacheName(key.cacheKB), res.ExecTime, wall.Round(time.Millisecond))
+	}
+	var profReport *profile.Report
+	if prof != nil {
+		top := s.Opt.ProfileTop
+		if top <= 0 {
+			top = 10
+		}
+		profReport = prof.Report(top)
+		profReport.App, profReport.Size = key.app, s.Opt.Size.String()
+		if h, err := telemetry.HashConfig(cfg); err == nil {
+			profReport.ConfigHash = h
+		}
+		if err := os.MkdirAll(s.Opt.ProfileDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(s.Opt.ProfileDir,
+			fmt.Sprintf("%s-c%d-%s.profile.json", key.app, key.clusterSize, cacheName(key.cacheKB)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = profile.WriteReport(f, profReport)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
 	}
 	if col == nil {
 		return nil
@@ -180,13 +220,18 @@ func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
 	if s.Opt.ManifestOut != nil {
 		// Compact (one line) so the stream is JSONL.
 		var b bytes.Buffer
-		if err := telemetry.WriteManifest(&b, telemetry.Manifest{
+		m := telemetry.Manifest{
 			App:       key.app,
 			Size:      s.Opt.Size.String(),
 			Config:    cfg,
 			Result:    res,
+			Memory:    res.MemoryReport(),
 			Telemetry: col.SelfReport(),
-		}); err != nil {
+		}
+		if profReport != nil {
+			m.Profile = profReport.Summary()
+		}
+		if err := telemetry.WriteManifest(&b, m); err != nil {
 			return err
 		}
 		var compact bytes.Buffer

@@ -142,19 +142,39 @@ func (as *AddressSpace) Mapped(addr Addr) bool {
 
 // RegionOf returns the allocation containing addr, if any.
 func (as *AddressSpace) RegionOf(addr Addr) (Region, bool) {
+	i, ok := as.RegionIndexOf(addr)
+	if !ok {
+		return Region{}, false
+	}
+	return as.regions[i], true
+}
+
+// RegionIndexOf returns the allocation-order index of the region
+// containing addr, if any — the stable integer key profilers use to
+// avoid per-access string handling.
+func (as *AddressSpace) RegionIndexOf(addr Addr) (int, bool) {
 	i := sort.Search(len(as.regions), func(i int) bool {
 		return as.regions[i].Base > addr
 	})
 	if i == 0 {
-		return Region{}, false
+		return 0, false
 	}
-	r := as.regions[i-1]
-	if addr < r.End() {
-		return r, true
+	if addr < as.regions[i-1].End() {
+		return i - 1, true
 	}
 	// addr may fall in the page-alignment padding of the region: report
 	// it as unmapped data even though the allocator reserved the page.
-	return Region{}, false
+	return 0, false
+}
+
+// NameOf returns the name of the allocation containing addr, or "" when
+// addr lies outside every named region — the RegionOf-backed lookup
+// diagnostics and reports use.
+func (as *AddressSpace) NameOf(addr Addr) string {
+	if i, ok := as.RegionIndexOf(addr); ok {
+		return as.regions[i].Name
+	}
+	return ""
 }
 
 // Regions returns all allocations in address order.

@@ -121,6 +121,15 @@ func TestRegionOf(t *testing.T) {
 	if _, ok := as.RegionOf(0); ok {
 		t.Error("address 0 reported as mapped")
 	}
+	if n := as.NameOf(b + 199); n != "beta" {
+		t.Errorf("NameOf(b+199) = %q, want beta", n)
+	}
+	if n := as.NameOf(a + 200); n != "" {
+		t.Errorf("NameOf(padding) = %q, want empty", n)
+	}
+	if i, ok := as.RegionIndexOf(b); !ok || i != 1 {
+		t.Errorf("RegionIndexOf(b) = %d, %v, want 1, true", i, ok)
+	}
 }
 
 func TestMappedBounds(t *testing.T) {

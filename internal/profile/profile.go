@@ -1,0 +1,370 @@
+// Package profile is the simulator's data-centric sharing profiler.
+//
+// The paper argues clustering entirely through data-structure-level
+// sharing behaviour — which structures miss, why, and whether a cluster
+// cache can absorb the traffic — yet machine-level counters cannot say
+// *which* line or array caused a miss. A Collector attached to a
+// core.Machine (via Config.Profile) observes every memory reference and
+// every coherence protocol event, classifies each fetch miss in the
+// Dubois-style taxonomy:
+//
+//   - cold: the cluster had never held the line;
+//   - replacement: the cluster's copy was displaced by a capacity or
+//     conflict eviction (or, in shared-memory clusters, a private cache
+//     refilled a line the cluster's attraction memory still held);
+//   - true sharing: the copy was invalidated by another cluster's write,
+//     and the word now accessed was written since the copy was lost;
+//   - false sharing: the copy was invalidated, but only words *other*
+//     than the one now accessed were written — traffic manufactured by
+//     line granularity alone;
+//
+// and attributes counts and stall cycles to the named allocator region
+// containing the address, to the individual cache line (with
+// invalidator→victim pairs), and to the page-placement outcome
+// (local-home vs. remote-home fetches per region).
+//
+// True/false discrimination uses per-word last-writer tracking at
+// WordBytes granularity: every store stamps its word with the writing
+// cluster and time; an invalidation stamps the victim's loss time; a
+// later miss by the victim compares the accessed word's last write
+// against the loss. Sub-word false sharing (two bytes of one word) is
+// reported as true sharing — the simulator's references are word-sized,
+// so the distinction cannot arise from the apps' access streams.
+//
+// Everything is called from the goroutine holding the engine's
+// execution token, so the collector is lock-free; a nil *Collector
+// disables every hook at the cost of one branch, exactly like the
+// telemetry collector.
+package profile
+
+import (
+	"clustersim/internal/coherence"
+	"clustersim/internal/memory"
+)
+
+// Clock counts simulated cycles (mirrors engine.Clock; both are int64).
+type Clock = int64
+
+// WordBytes is the granularity of last-writer tracking. The simulated
+// applications issue word-sized references, so one 8-byte word per
+// tracked write is exact for them.
+const WordBytes = 8
+
+// MissKind is one class of the profiler's miss taxonomy.
+type MissKind uint8
+
+const (
+	// MissCold is a first-ever fetch of the line by the cluster.
+	MissCold MissKind = iota
+	// MissReplacement refetches a line lost to eviction.
+	MissReplacement
+	// MissTrueSharing refetches a line lost to invalidation, where the
+	// accessed word was written by another cluster since the loss.
+	MissTrueSharing
+	// MissFalseSharing refetches a line lost to invalidation, where the
+	// accessed word was NOT among those written — a line-granularity
+	// artifact.
+	MissFalseSharing
+)
+
+// String names the miss kind as it appears in reports.
+func (k MissKind) String() string {
+	switch k {
+	case MissCold:
+		return "cold"
+	case MissReplacement:
+		return "replacement"
+	case MissTrueSharing:
+		return "true-sharing"
+	case MissFalseSharing:
+		return "false-sharing"
+	}
+	return "unknown"
+}
+
+// ClassCounts tallies misses by taxonomy class.
+type ClassCounts struct {
+	Cold         uint64 `json:"cold"`
+	Replacement  uint64 `json:"replacement"`
+	TrueSharing  uint64 `json:"trueSharing"`
+	FalseSharing uint64 `json:"falseSharing"`
+}
+
+func (c *ClassCounts) add(k MissKind) {
+	switch k {
+	case MissCold:
+		c.Cold++
+	case MissReplacement:
+		c.Replacement++
+	case MissTrueSharing:
+		c.TrueSharing++
+	case MissFalseSharing:
+		c.FalseSharing++
+	}
+}
+
+// Total returns the sum over all classes.
+func (c ClassCounts) Total() uint64 {
+	return c.Cold + c.Replacement + c.TrueSharing + c.FalseSharing
+}
+
+// Plus returns the class-wise sum.
+func (c ClassCounts) Plus(o ClassCounts) ClassCounts {
+	return ClassCounts{
+		Cold:         c.Cold + o.Cold,
+		Replacement:  c.Replacement + o.Replacement,
+		TrueSharing:  c.TrueSharing + o.TrueSharing,
+		FalseSharing: c.FalseSharing + o.FalseSharing,
+	}
+}
+
+// StallCycles splits processor stall cycles by the miss class that
+// caused them.
+type StallCycles struct {
+	Cold         Clock `json:"cold"`
+	Replacement  Clock `json:"replacement"`
+	TrueSharing  Clock `json:"trueSharing"`
+	FalseSharing Clock `json:"falseSharing"`
+}
+
+func (s *StallCycles) add(k MissKind, cycles Clock) {
+	switch k {
+	case MissCold:
+		s.Cold += cycles
+	case MissReplacement:
+		s.Replacement += cycles
+	case MissTrueSharing:
+		s.TrueSharing += cycles
+	case MissFalseSharing:
+		s.FalseSharing += cycles
+	}
+}
+
+// Total returns the summed stall cycles.
+func (s StallCycles) Total() Clock {
+	return s.Cold + s.Replacement + s.TrueSharing + s.FalseSharing
+}
+
+// Per-(line, cluster) presence states.
+const (
+	neverSeen uint8 = iota
+	present
+	lostReplacement
+	lostInvalidation
+)
+
+// wordWrite is the last writer of one word of a tracked line.
+type wordWrite struct {
+	cluster int32
+	valid   bool
+	at      Clock
+}
+
+// pairKey identifies one invalidator→victim relationship on a line.
+type pairKey struct {
+	writerPE int32 // the processor whose write caused the invalidation
+	victim   int32 // the cluster that lost its copy
+}
+
+// lineState is the profiler's record of one cache line.
+type lineState struct {
+	region int32 // allocator region index; -1 when outside every region
+	state  []uint8
+	lostAt []Clock
+	words  []wordWrite
+
+	misses ClassCounts
+	stall  Clock
+	invals uint64
+	pairs  map[pairKey]uint64
+}
+
+// regionAccum accumulates one allocator region's profile.
+type regionAccum struct {
+	reads, writes, hits uint64
+	upgrades, merges    uint64
+	misses              ClassCounts
+	stalls              StallCycles
+	mergeStall          Clock
+
+	// Fetch-service placement: misses served by the page's local home,
+	// a remote home, or (shared-memory clusters) inside the cluster.
+	localHome, remoteHome, intraCluster uint64
+}
+
+// Collector gathers one run's sharing profile. Create one with New,
+// attach it via core.Config.Profile, and call Report after the run.
+type Collector struct {
+	as           *memory.AddressSpace
+	clusters     int
+	lineShift    uint
+	lineBytes    uint64
+	wordsPerLine int
+	wordMask     uint64
+
+	lines   map[uint64]*lineState
+	regions []regionAccum // indexed by allocation order; grown on demand
+	spill   regionAccum   // accesses outside every named region
+	started bool
+}
+
+// New creates an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Start sizes the collector for a machine; core.NewMachine calls it
+// before any simulated reference is issued.
+func (c *Collector) Start(as *memory.AddressSpace, clusters int, lineBytes uint64) {
+	if c.started {
+		panic("profile: Collector reused across runs; create one per run")
+	}
+	c.started = true
+	c.as = as
+	c.clusters = clusters
+	c.lineBytes = lineBytes
+	for 1<<c.lineShift < lineBytes {
+		c.lineShift++
+	}
+	c.wordsPerLine = int(lineBytes / WordBytes)
+	if c.wordsPerLine < 1 {
+		c.wordsPerLine = 1
+	}
+	c.wordMask = uint64(c.wordsPerLine - 1)
+	c.lines = make(map[uint64]*lineState)
+}
+
+// line returns (creating if needed) the state of the line containing
+// addr.
+func (c *Collector) line(num uint64, addr memory.Addr) *lineState {
+	st := c.lines[num]
+	if st == nil {
+		region := int32(-1)
+		if i, ok := c.as.RegionIndexOf(addr); ok {
+			region = int32(i)
+		}
+		st = &lineState{
+			region: region,
+			state:  make([]uint8, c.clusters),
+			lostAt: make([]Clock, c.clusters),
+			words:  make([]wordWrite, c.wordsPerLine),
+		}
+		c.lines[num] = st
+	}
+	return st
+}
+
+// region returns the accumulator for region index i (-1 = spill).
+func (c *Collector) region(i int32) *regionAccum {
+	if i < 0 {
+		return &c.spill
+	}
+	for int(i) >= len(c.regions) {
+		c.regions = append(c.regions, regionAccum{})
+	}
+	return &c.regions[i]
+}
+
+// wordIndex returns the tracked-word slot of addr within its line.
+func (c *Collector) wordIndex(addr memory.Addr) int {
+	return int((addr / WordBytes) & c.wordMask)
+}
+
+// OnAccess records the outcome of one memory reference. stall is the
+// cycles the issuing processor actually stalled (0 for hits, hidden
+// writes, and store-buffered write misses).
+func (c *Collector) OnAccess(proc, cluster int, write bool, addr memory.Addr, acc coherence.Access, stall, now Clock) {
+	num := addr >> c.lineShift
+	st := c.line(num, addr)
+	r := c.region(st.region)
+	if write {
+		r.writes++
+	} else {
+		r.reads++
+	}
+	switch acc.Class {
+	case coherence.Hit:
+		r.hits++
+	case coherence.MergeMiss, coherence.WriteMerge:
+		r.merges++
+		r.mergeStall += stall
+	case coherence.Upgrade:
+		r.upgrades++
+	case coherence.ReadMiss, coherence.WriteMiss:
+		kind := c.classify(st, cluster, addr)
+		st.misses.add(kind)
+		st.stall += stall
+		r.misses.add(kind)
+		r.stalls.add(kind, stall)
+		switch acc.Hops {
+		case coherence.HopLocalClean, coherence.HopLocalDirty:
+			r.localHome++
+		case coherence.HopRemoteClean, coherence.HopRemoteDirty:
+			r.remoteHome++
+		case coherence.HopIntraCluster:
+			r.intraCluster++
+		}
+		st.state[cluster] = present
+	}
+	if write {
+		st.words[c.wordIndex(addr)] = wordWrite{cluster: int32(cluster), valid: true, at: now}
+	}
+}
+
+// classify applies the taxonomy to a fetch miss by cluster at addr.
+func (c *Collector) classify(st *lineState, cluster int, addr memory.Addr) MissKind {
+	switch st.state[cluster] {
+	case neverSeen:
+		return MissCold
+	case lostInvalidation:
+		w := st.words[c.wordIndex(addr)]
+		if w.valid && int(w.cluster) != cluster && w.at >= st.lostAt[cluster] {
+			return MissTrueSharing
+		}
+		return MissFalseSharing
+	default:
+		// lostReplacement — or, in shared-memory clusters, a private
+		// cache refilling a line the attraction memory retained
+		// (state still `present` at cluster granularity).
+		return MissReplacement
+	}
+}
+
+// Invalidated implements coherence.Observer: victim cluster's copy of
+// line was invalidated at now by a write from writerPE (in
+// writerCluster).
+func (c *Collector) Invalidated(line uint64, writerPE, writerCluster, victim int, now Clock) {
+	st := c.line(line, line<<c.lineShift)
+	st.state[victim] = lostInvalidation
+	st.lostAt[victim] = now
+	st.invals++
+	if st.pairs == nil {
+		st.pairs = make(map[pairKey]uint64)
+	}
+	st.pairs[pairKey{writerPE: int32(writerPE), victim: int32(victim)}]++
+}
+
+// Evicted implements coherence.Observer: cluster's copy of line was
+// displaced by a replacement at now.
+func (c *Collector) Evicted(line uint64, cluster int, now Clock) {
+	st := c.line(line, line<<c.lineShift)
+	if st.state[cluster] == present {
+		st.state[cluster] = lostReplacement
+		st.lostAt[cluster] = now
+	}
+}
+
+// Reset zeroes every counter while keeping the presence and last-writer
+// state — caches stay warm across core.Machine.BeginMeasurement, so a
+// line fetched during initialization and kept must not look cold in the
+// measured phase.
+func (c *Collector) Reset() {
+	for i := range c.regions {
+		c.regions[i] = regionAccum{}
+	}
+	c.spill = regionAccum{}
+	for _, st := range c.lines { //simlint:allow maprange — order-independent zeroing
+		st.misses = ClassCounts{}
+		st.stall = 0
+		st.invals = 0
+		st.pairs = nil
+	}
+}

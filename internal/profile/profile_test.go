@@ -1,0 +1,227 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"clustersim/internal/coherence"
+	"clustersim/internal/memory"
+)
+
+// newCollector builds a 2-cluster collector over a small address space
+// with two named regions. Returns the collector and the region bases.
+func newCollector(t *testing.T) (*Collector, memory.Addr, memory.Addr) {
+	t.Helper()
+	as, err := memory.New(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := as.Alloc(8000, "grid") // 8000 of 8192 reserved: leaves alignment padding
+	b := as.Alloc(4096, "histogram")
+	c := New()
+	c.Start(as, 2, 64)
+	return c, a, b
+}
+
+func readMiss(stall Clock) coherence.Access {
+	return coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopLocalClean, Stall: stall}
+}
+
+func writeMiss() coherence.Access {
+	return coherence.Access{Class: coherence.WriteMiss, Hops: coherence.HopRemoteClean}
+}
+
+// The taxonomy walk: a line is fetched cold, invalidated, refetched on
+// an untouched word (false sharing), invalidated again, refetched on
+// the written word (true sharing), evicted, and refetched (replacement).
+func TestMissClassification(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	line := grid >> 6
+
+	// Cluster 0 reads word 0: cold.
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 10)
+	// PE 4 (cluster 1) writes word 1 of the same line: cold for cluster
+	// 1, and the write stamps word 1's last writer.
+	c.OnAccess(4, 1, true, grid+8, writeMiss(), 0, 20)
+	c.Invalidated(line, 4, 1, 0, 20)
+
+	// Cluster 0 refetches word 0 — never written since the loss: false.
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 30)
+
+	// Cluster 0's refetch made the line shared again, so cluster 1's
+	// next write is an upgrade; it invalidates cluster 0 once more.
+	// Refetching the word cluster 1 wrote: true sharing.
+	c.OnAccess(4, 1, true, grid+8, coherence.Access{Class: coherence.Upgrade}, 0, 40)
+	c.Invalidated(line, 4, 1, 0, 40)
+	c.OnAccess(0, 0, false, grid+8, readMiss(100), 100, 50)
+
+	// Eviction, then refetch: replacement.
+	c.Evicted(line, 0, 60)
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 70)
+
+	r := c.Report(10)
+	if len(r.Regions) != 1 || r.Regions[0].Name != "grid" {
+		t.Fatalf("regions = %+v, want one region grid", r.Regions)
+	}
+	got := r.Regions[0].Misses
+	want := ClassCounts{Cold: 2, Replacement: 1, TrueSharing: 1, FalseSharing: 1}
+	if got != want {
+		t.Errorf("grid misses = %+v, want %+v", got, want)
+	}
+	if st := r.Regions[0].Stalls; st.FalseSharing != 30 || st.TrueSharing != 100 {
+		t.Errorf("stall split = %+v, want false=30 true=100", st)
+	}
+	if len(r.HotLines) != 1 || r.HotLines[0].Invalidations != 2 {
+		t.Fatalf("hot lines = %+v, want one line with 2 invalidations", r.HotLines)
+	}
+	pairs := r.HotLines[0].Pairs
+	if len(pairs) != 1 || pairs[0] != (PairCount{WriterPE: 4, VictimCluster: 0, Count: 2}) {
+		t.Errorf("pairs = %+v, want PE4→cl0×2", pairs)
+	}
+}
+
+// An invalidating write at the same cycle as the victim's loss counts
+// as true sharing: the fetched word really was newly produced.
+func TestSameCycleWriteIsTrueSharing(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	line := grid >> 6
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 5)
+	c.OnAccess(4, 1, true, grid, writeMiss(), 0, 9)
+	c.Invalidated(line, 4, 1, 0, 9)
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 12)
+	r := c.Report(0)
+	if m := r.Regions[0].Misses; m.TrueSharing != 1 || m.FalseSharing != 0 {
+		t.Errorf("misses = %+v, want 1 true-sharing refetch", m)
+	}
+}
+
+// Placement attribution: fetches served by the local home vs. a remote
+// home vs. inside the cluster.
+func TestPlacementAttribution(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 1)
+	c.OnAccess(0, 0, false, grid+64, coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopRemoteDirty, Stall: 150}, 150, 2)
+	c.OnAccess(0, 0, false, grid+128, coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopIntraCluster, Stall: 15}, 15, 3)
+	reg := c.Report(0).Regions[0]
+	if reg.LocalHome != 1 || reg.RemoteHome != 1 || reg.IntraCluster != 1 {
+		t.Errorf("placement = local %d remote %d intra %d, want 1/1/1",
+			reg.LocalHome, reg.RemoteHome, reg.IntraCluster)
+	}
+	if f := reg.LocalHomeFraction(); f != 0.5 {
+		t.Errorf("LocalHomeFraction = %v, want 0.5", f)
+	}
+}
+
+// Reset (BeginMeasurement) zeroes counters but keeps presence and
+// last-writer state: a warm line must not re-classify as cold, and a
+// pre-reset invalidation still discriminates true from false sharing.
+func TestResetKeepsWarmState(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	line := grid >> 6
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 1)
+	c.OnAccess(4, 1, true, grid+8, writeMiss(), 0, 2)
+	c.Invalidated(line, 4, 1, 0, 2)
+
+	c.Reset()
+
+	c.OnAccess(0, 0, false, grid+8, readMiss(100), 100, 10)
+	r := c.Report(0)
+	m := r.Regions[0].Misses
+	if m != (ClassCounts{TrueSharing: 1}) {
+		t.Errorf("post-reset misses = %+v, want exactly one true-sharing miss", m)
+	}
+	if r.Totals.Misses.Total() != 1 {
+		t.Errorf("totals = %+v, want only post-reset counts", r.Totals)
+	}
+}
+
+// Accesses outside every named region land in the (unattributed) spill
+// bucket; regions never touched are omitted.
+func TestSpillAndOmittedRegions(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	_ = grid
+	as := c.as
+	pad := as.Regions()[0].End() // alignment padding past "grid"
+	if _, ok := as.RegionOf(pad); ok {
+		t.Fatalf("address %#x unexpectedly inside a region", pad)
+	}
+	c.OnAccess(0, 0, false, pad, readMiss(30), 30, 1)
+	r := c.Report(0)
+	if len(r.Regions) != 1 || r.Regions[0].Name != "(unattributed)" {
+		t.Fatalf("regions = %+v, want only the spill bucket", r.Regions)
+	}
+}
+
+// Reports round-trip through JSON, reject foreign schemas, and render
+// identically for identical inputs.
+func TestReportRoundTripAndDeterminism(t *testing.T) {
+	build := func() *bytes.Buffer {
+		c, grid, hist := newCollector(t)
+		line := grid >> 6
+		c.OnAccess(0, 0, false, grid, readMiss(30), 30, 1)
+		c.OnAccess(4, 1, true, grid, writeMiss(), 0, 2)
+		c.Invalidated(line, 4, 1, 0, 2)
+		c.OnAccess(0, 0, false, grid, readMiss(100), 100, 3)
+		c.OnAccess(3, 0, false, hist, readMiss(30), 30, 4)
+		r := c.Report(4)
+		r.App, r.Size = "mp3d", "small"
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical event streams produced different JSON")
+	}
+	r, err := ReadReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App != "mp3d" || len(r.Regions) != 2 {
+		t.Errorf("round-trip lost data: %+v", r)
+	}
+	// Regions rank by misses: grid (2 classified) before histogram (1).
+	if r.Regions[0].Name != "grid" || r.Regions[1].Name != "histogram" {
+		t.Errorf("region order = %s, %s; want grid, histogram", r.Regions[0].Name, r.Regions[1].Name)
+	}
+	if _, err := ReadReport(bytes.NewBufferString(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+
+	var flat bytes.Buffer
+	WriteFlat(&flat, r)
+	for _, want := range []string{"grid", "histogram", "classified misses", "hot lines"} {
+		if !bytes.Contains(flat.Bytes(), []byte(want)) {
+			t.Errorf("flat report missing %q:\n%s", want, flat.String())
+		}
+	}
+	var diff bytes.Buffer
+	WriteDiff(&diff, r, r)
+	if !bytes.Contains(diff.Bytes(), []byte("Δmisses +0")) {
+		t.Errorf("self-diff should be zero:\n%s", diff.String())
+	}
+}
+
+// The manifest summary keeps the per-region class split.
+func TestSummary(t *testing.T) {
+	c, grid, _ := newCollector(t)
+	c.OnAccess(0, 0, false, grid, readMiss(30), 30, 1)
+	s := c.Report(0).Summary()
+	if s.ClassifiedMisses != 1 || len(s.Regions) != 1 || s.Regions[0].Misses.Cold != 1 {
+		t.Errorf("summary = %+v, want 1 cold miss in grid", s)
+	}
+}
+
+// A collector must refuse reuse across runs: warm per-run state would
+// silently corrupt the second run's classification.
+func TestStartPanicsOnReuse(t *testing.T) {
+	c, _, _ := newCollector(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start did not panic")
+		}
+	}()
+	c.Start(c.as, 2, 64)
+}

@@ -52,6 +52,11 @@ type Counters struct {
 	IntraCluster uint64
 }
 
+// Misses returns the fetch misses (read + write) — the population the
+// sharing profiler (internal/profile) classifies, so a profile's
+// class totals must sum to exactly this over the same interval.
+func (c Counters) Misses() uint64 { return c.ReadMisses + c.WriteMisses }
+
 // Plus returns the field-wise sum of two counter sets.
 func (c Counters) Plus(o Counters) Counters {
 	return Counters{

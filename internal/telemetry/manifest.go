@@ -16,13 +16,30 @@ const SchemaV1 = "clustersim/run-manifest/v1"
 // as-is (core.Config and *core.Result in practice; the types are `any`
 // here because core depends on this package, not the reverse).
 type Manifest struct {
-	Schema     string      `json:"schema"`
-	App        string      `json:"app,omitempty"`
-	Size       string      `json:"size,omitempty"`
-	ConfigHash string      `json:"configHash"`
-	Config     any         `json:"config"`
-	Result     any         `json:"result"`
-	Telemetry  *SelfReport `json:"telemetry,omitempty"`
+	Schema     string        `json:"schema"`
+	App        string        `json:"app,omitempty"`
+	Size       string        `json:"size,omitempty"`
+	ConfigHash string        `json:"configHash"`
+	Config     any           `json:"config"`
+	Result     any           `json:"result"`
+	Memory     *MemoryReport `json:"memory,omitempty"`
+	Profile    any           `json:"profile,omitempty"`
+	Telemetry  *SelfReport   `json:"telemetry,omitempty"`
+}
+
+// MemoryReport is the manifest's address-space block: the total
+// simulated footprint and the named-region table, so scripts can map
+// profile addresses back to the structures the application declared.
+type MemoryReport struct {
+	FootprintBytes uint64       `json:"footprintBytes"`
+	Regions        []RegionInfo `json:"regions,omitempty"`
+}
+
+// RegionInfo is one named allocation, in allocation order.
+type RegionInfo struct {
+	Name string `json:"name"`
+	Base uint64 `json:"base"`
+	Size uint64 `json:"size"`
 }
 
 // SelfReport is the simulator's self-metrics block of a manifest.
@@ -130,6 +147,8 @@ type ManifestDoc struct {
 	ConfigHash string          `json:"configHash"`
 	Config     json.RawMessage `json:"config"`
 	Result     json.RawMessage `json:"result"`
+	Memory     *MemoryReport   `json:"memory"`
+	Profile    json.RawMessage `json:"profile"`
 	Telemetry  *SelfReport     `json:"telemetry"`
 }
 

@@ -7,6 +7,22 @@ import (
 	"clustersim/internal/stats"
 )
 
+// DefaultInterval is the sampling period used when interval sampling is
+// requested without a usable period: one million simulated cycles, fine
+// enough to resolve phase behaviour in the paper's runs yet coarse
+// enough that the series stays small.
+const DefaultInterval Clock = 1_000_000
+
+// SampleInterval normalises a requested sampling period. Zero and
+// negative requests fall back to DefaultInterval — per-cycle sampling
+// from a degenerate interval would swamp the run with samples.
+func SampleInterval(requested Clock) Clock {
+	if requested <= 0 {
+		return DefaultInterval
+	}
+	return requested
+}
+
 // ClusterSample is one cluster's counters at (or over) a point in
 // simulated time: the reference counters summed over the cluster's
 // processors plus the cluster's protocol counters.

@@ -1,0 +1,26 @@
+package telemetry
+
+import "testing"
+
+// Degenerate sampling periods must fall back to the documented default
+// rather than sampling every cycle (or looping forever on a zero step).
+func TestSampleIntervalGuardsDegenerateRequests(t *testing.T) {
+	cases := []struct {
+		requested, want Clock
+	}{
+		{0, DefaultInterval},
+		{-1, DefaultInterval},
+		{-1_000_000, DefaultInterval},
+		{1, 1},
+		{50_000, 50_000},
+		{DefaultInterval + 1, DefaultInterval + 1},
+	}
+	for _, c := range cases {
+		if got := SampleInterval(c.requested); got != c.want {
+			t.Errorf("SampleInterval(%d) = %d, want %d", c.requested, got, c.want)
+		}
+	}
+	if DefaultInterval <= 0 {
+		t.Fatalf("DefaultInterval %d must be positive", DefaultInterval)
+	}
+}
