@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sanitize-suite profile-suite test test-short race bench experiments paper examples clean
+.PHONY: all build vet lint simlint sanitize-suite profile-suite fault-suite resume-suite test test-short race bench experiments paper examples clean
 
 all: build lint test
 
@@ -40,6 +40,32 @@ profile-suite: build
 	$(GO) run ./cmd/tracetool profile $(PROFILE_OUT)/mp3d.profile.json > $(PROFILE_OUT)/mp3d.flat
 	diff -u internal/profile/testdata/mp3d-c4-1k.flat.golden $(PROFILE_OUT)/mp3d.flat
 	@echo "profile-suite: flat report matches golden"
+
+# Fault sweep with the sanitizer attached: MP3D and Ocean absorb
+# deterministic NACKs, delayed acks and latency jitter while every
+# coherence transaction is cross-validated — faults must stretch
+# virtual time without ever corrupting protocol state.
+fault-suite: build
+	$(GO) run ./cmd/experiments -procs 16 -size test -sanitize ext-faults
+
+# Interrupt/resume smoke test: a journalled run stopped after 3 points
+# (exit code 3) must, when resumed from the same -state dir, emit
+# tables byte-identical to an uninterrupted run. The binary is built
+# and invoked directly because `go run` folds any non-zero program
+# exit into its own exit code 1, hiding the distinct interrupt code.
+RESUME_OUT ?= /tmp/clustersim-resume
+resume-suite: build
+	@rm -rf $(RESUME_OUT) && mkdir -p $(RESUME_OUT)
+	$(GO) build -o $(RESUME_OUT)/experiments ./cmd/experiments
+	$(RESUME_OUT)/experiments -procs 16 -size test fig2 > $(RESUME_OUT)/clean.txt
+	@$(RESUME_OUT)/experiments -procs 16 -size test -state $(RESUME_OUT)/state -stop-after 3 fig2 \
+		> /dev/null 2>$(RESUME_OUT)/interrupt.log; \
+	code=$$?; if [ $$code -ne 3 ]; then \
+		echo "resume-suite: expected interrupted exit code 3, got $$code"; \
+		cat $(RESUME_OUT)/interrupt.log; exit 1; fi
+	$(RESUME_OUT)/experiments -procs 16 -size test -state $(RESUME_OUT)/state fig2 > $(RESUME_OUT)/resumed.txt
+	diff -u $(RESUME_OUT)/clean.txt $(RESUME_OUT)/resumed.txt
+	@echo "resume-suite: resumed tables byte-identical to uninterrupted run"
 
 profile-golden: build
 	@mkdir -p $(PROFILE_OUT)

@@ -26,15 +26,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/fault"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
+
+// exitInterrupted is the SIGINT/SIGTERM exit code, distinct from the
+// usage-error code 2 (and matching experiments.ExitInterrupted). All
+// file artifacts are written atomically (temp + rename), so an
+// interrupt never leaves a torn JSON document behind.
+const exitInterrupted = 3
 
 func main() {
 	var (
@@ -55,8 +65,27 @@ func main() {
 		progress = flag.Bool("progress", false, "stream sampling progress to stderr")
 		profOut  = flag.String("profile", "", "write a sharing-profile JSON file and print the flat report")
 		topLines = flag.Int("top", 10, "hot cache lines to rank in the sharing profile")
+
+		faultSeed    = flag.Int64("fault-seed", 1, "fault plan seed (with any -fault-* probability set)")
+		faultNack    = flag.Int("fault-nack", 0, "directory-busy NACK probability per 1000 requests")
+		faultAck     = flag.Int("fault-ack", 0, "delayed invalidation-ack probability per 1000 acks")
+		faultPerturb = flag.Int("fault-perturb", 0, "remote-hop jitter probability per 1000 fetches")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM exit with a distinct code. Output files are only
+	// written after the run, atomically, so there is nothing to flush —
+	// the handler's job is the exit code and a clean one-line diagnostic
+	// instead of a runtime panic dump.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	// Harness-level watcher, not simulation code: it never touches the
+	// machine, only the process.
+	go func() { //simlint:allow goroutine
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "clustersim: %v: aborting run (no partial artifacts are written)\n", sig)
+		os.Exit(exitInterrupted)
+	}()
 
 	sz, err := parseSize(*size)
 	if err != nil {
@@ -81,6 +110,14 @@ func main() {
 		cfg.Organization = core.SharedMemory
 	default:
 		fatal(fmt.Errorf("unknown organization %q", *org))
+	}
+	if *faultNack > 0 || *faultAck > 0 || *faultPerturb > 0 {
+		cfg.Faults = &fault.Config{
+			Seed:             *faultSeed,
+			NackPerMille:     *faultNack,
+			AckDelayPerMille: *faultAck,
+			PerturbPerMille:  *faultPerturb,
+		}
 	}
 
 	if *sample < 0 {
@@ -167,12 +204,9 @@ func main() {
 }
 
 func writeProfile(path string, r *profile.Report) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return profile.WriteReport(f, r)
+	return telemetry.AtomicFile(path, func(w io.Writer) error {
+		return profile.WriteReport(w, r)
+	})
 }
 
 func writeTrace(path string, col *telemetry.Collector, app, size string, cfg core.Config) error {
@@ -180,13 +214,10 @@ func writeTrace(path string, col *telemetry.Collector, app, size string, cfg cor
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return telemetry.WriteChromeTrace(f, col, map[string]string{
-		"app": app, "size": size, "configHash": hash,
+	return telemetry.AtomicFile(path, func(w io.Writer) error {
+		return telemetry.WriteChromeTrace(w, col, map[string]string{
+			"app": app, "size": size, "configHash": hash,
+		})
 	})
 }
 

@@ -5,24 +5,36 @@
 //	experiments [flags] <what>...
 //
 // where <what> is any of: table1 table2 table3 table4 table5 table6
-// table7 fig2 fig3 fig4 fig5 fig6 fig7 fig8, or "all".
+// table7 fig2 fig3 fig4 fig5 fig6 fig7 fig8, ext-assoc ext-org
+// ext-scaling ext-faults, or "all".
 //
 // By default the runs use the scaled default problem sizes on the
 // paper's 64-processor machine; -size paper selects the full Table 2
 // problem sizes (slower), and -procs shrinks the machine for quick
 // looks.
+//
+// Robustness: -state journals every finished point so an interrupted
+// run resumes where it left off; SIGINT/SIGTERM stop the suite cleanly
+// between points (exit code 3); -point-timeout aborts a wedged point
+// (exit code 4); -fault-* flags inject the deterministic fault plan.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/experiments"
+	"clustersim/internal/fault"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		procs    = flag.Int("procs", 64, "total processors")
 		size     = flag.String("size", "default", "problem size: test, default or paper")
@@ -36,15 +48,25 @@ func main() {
 		profDir  = flag.String("profile", "", "write one sharing-profile JSON per run into this directory")
 		profTop  = flag.Int("top", 10, "hot cache lines to rank in each sharing profile")
 		jsonOut  = flag.String("json", "", "append one JSON run manifest per line (JSONL) to this file")
+
+		stateDir = flag.String("state", "", "journal each finished point into this directory and resume from it")
+		timeout  = flag.Duration("point-timeout", 0, "wall-clock watchdog per simulation point (0 = off); a hung point is recorded as failed and the process exits 4")
+		retry    = flag.Bool("retry-failed", false, "re-run points the journal records as failed")
+		stopN    = flag.Int("stop-after", 0, "interrupt the suite after N freshly simulated points (resume testing; 0 = off)")
+
+		faultSeed    = flag.Int64("fault-seed", 1, "fault plan seed (with any -fault-* probability set)")
+		faultNack    = flag.Int("fault-nack", 0, "directory-busy NACK probability per 1000 requests")
+		faultAck     = flag.Int("fault-ack", 0, "delayed invalidation-ack probability per 1000 acks")
+		faultPerturb = flag.Int("fault-perturb", 0, "remote-hop jitter probability per 1000 fetches")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|ext-scaling|ext-faults|all>...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return experiments.ExitUsage
 	}
 	if *sample < 0 {
-		fatal(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
+		return usageError(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
 	}
 	opt := experiments.DefaultOptions()
 	opt.Procs = *procs
@@ -56,14 +78,38 @@ func main() {
 	opt.TraceDir = *traceDir
 	opt.ProfileDir = *profDir
 	opt.ProfileTop = *profTop
+	opt.PointTimeout = *timeout
+	opt.RetryFailed = *retry
+	opt.StopAfter = *stopN
 	if *progress {
 		opt.Progress = os.Stderr
+	}
+	if *faultNack > 0 || *faultAck > 0 || *faultPerturb > 0 {
+		opt.Faults = &fault.Config{
+			Seed:             *faultSeed,
+			NackPerMille:     *faultNack,
+			AckDelayPerMille: *faultAck,
+			PerturbPerMille:  *faultPerturb,
+		}
+		if err := opt.Faults.Validate(); err != nil {
+			return usageError(err)
+		}
+	}
+	if *stateDir != "" {
+		j, err := experiments.OpenJournal(*stateDir)
+		if err != nil {
+			return usageError(err)
+		}
+		opt.Journal = j
 	}
 	if *jsonOut != "" {
 		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fatal(err)
+			return usageError(err)
 		}
+		// Closed explicitly before every return path of realMain; the
+		// watchdog and double-signal paths os.Exit instead, which is safe
+		// because manifest lines are single appended Writes (never torn).
 		defer f.Close()
 		opt.ManifestOut = f
 	}
@@ -75,26 +121,47 @@ func main() {
 	case "paper":
 		opt.Size = apps.SizePaper
 	default:
-		fatal(fmt.Errorf("unknown size %q", *size))
+		return usageError(fmt.Errorf("unknown size %q", *size))
 	}
+	stop := experiments.NewSignalStop()
+	defer stop.Close()
+	opt.Stop = stop.Stopped
 
 	what := flag.Args()
 	if len(what) == 1 && what[0] == "all" {
 		what = []string{"table1", "table2", "table3", "table4", "table5",
 			"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table6", "table7",
-			"ext-assoc", "ext-org", "ext-scaling"}
+			"ext-assoc", "ext-org", "ext-scaling", "ext-faults"}
 	}
 	// One suite memoizes simulation points shared between experiments
-	// (e.g. Figures 4-8 and Tables 3, 6).
+	// (e.g. Figures 4-8 and Tables 3, 6). Experiments continue past an
+	// individual failure so one broken point cannot sink a long sweep;
+	// an interrupt stops the whole run with a resume hint.
 	suite := experiments.NewSuite(opt)
+	failed := 0
 	for i, name := range what {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(suite, name); err != nil {
-			fatal(err)
+		err := run(suite, name)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, experiments.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; completed points are flushed")
+			if opt.Journal != nil {
+				fmt.Fprintf(os.Stderr, "experiments: resume with the same arguments and -state %s\n", opt.Journal.Dir())
+			}
+			return experiments.ExitInterrupted
+		}
+		failed++
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(what))
+		return experiments.ExitFailures
+	}
+	return experiments.ExitOK
 }
 
 func run(s *experiments.Suite, name string) error {
@@ -128,11 +195,13 @@ func run(s *experiments.Suite, name string) error {
 		return experiments.ExtOrganizations(opt)
 	case "ext-scaling":
 		return experiments.ExtScaling(opt)
+	case "ext-faults":
+		return experiments.ExtFaults(opt)
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
 
-func fatal(err error) {
+func usageError(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(2)
+	return experiments.ExitUsage
 }

@@ -17,11 +17,12 @@ import (
 	"clustersim/internal/apps/radix"
 	"clustersim/internal/apps/raytrace"
 	"clustersim/internal/apps/volrend"
+	"clustersim/internal/core"
 )
 
 // All returns every workload in the paper's Table 2 order.
 func All() []apps.Runner {
-	return []apps.Runner{
+	runners := []apps.Runner{
 		barnes.Workload(),
 		fft.Workload(),
 		fmm.Workload(),
@@ -32,6 +33,24 @@ func All() []apps.Runner {
 		raytrace.Workload(),
 		volrend.Workload(),
 	}
+	for i := range runners {
+		runners[i] = labeled(runners[i])
+	}
+	return runners
+}
+
+// labeled defaults Config.Label to the workload's name, so engine panic
+// diagnostics name the application without each app having to set it.
+// Label is excluded from the config hash, so this changes no results.
+func labeled(w apps.Runner) apps.Runner {
+	name, inner := w.Name, w.Run
+	w.Run = func(cfg core.Config, size apps.Size) (*core.Result, error) {
+		if cfg.Label == "" {
+			cfg.Label = name
+		}
+		return inner(cfg, size)
+	}
+	return w
 }
 
 // Names returns the application names in Table 2 order.

@@ -17,6 +17,7 @@ import (
 
 	"clustersim/internal/cache"
 	"clustersim/internal/directory"
+	"clustersim/internal/fault"
 	"clustersim/internal/memory"
 )
 
@@ -177,12 +178,18 @@ type Observer interface {
 	Evicted(line uint64, cluster int, now Clock)
 }
 
-// Stats holds per-cluster protocol event counters.
+// Stats holds per-cluster protocol event counters. The fault counters
+// carry omitempty so that a run without fault injection marshals
+// byte-identically to builds that predate the fault layer.
 type Stats struct {
 	InvalidationsSent     uint64 // invalidation messages this cluster caused
 	InvalidationsReceived uint64 // lines this cluster lost to invalidations
 	ReplacementHints      uint64
 	Writebacks            uint64
+
+	Nacks       uint64 `json:",omitempty"` // directory-busy NACKs absorbed by this cluster's requests
+	AckDelays   uint64 `json:",omitempty"` // invalidation acks this cluster returned late
+	FaultCycles uint64 `json:",omitempty"` // injected fault latency charged to this cluster's requests
 }
 
 // System is the machine-wide memory system: one shared cache per cluster,
@@ -196,6 +203,7 @@ type System struct {
 	numClusters int
 	clusterStat []Stats
 	obs         Observer
+	inj         *fault.Injector
 
 	// disableHints suppresses replacement hints (ablation): the
 	// directory keeps stale sharer bits for silently dropped clean
@@ -258,6 +266,25 @@ func (s *System) DisableReplacementHints() { s.disableHints = true }
 // profiler). Call before simulation starts; a nil observer keeps the
 // hot paths at a single branch.
 func (s *System) SetObserver(o Observer) { s.obs = o }
+
+// SetFaults attaches a deterministic fault injector (nil detaches).
+// Call before simulation starts.
+func (s *System) SetFaults(in *fault.Injector) { s.inj = in }
+
+// injectFetch consults the fault plan for one directory fetch or
+// ownership request by cluster, returning the extra virtual-time
+// latency (NACK backoffs plus remote-hop jitter) to fold into the
+// miss. Starvation past the liveness cap panics inside the injector.
+func (s *System) injectFetch(line uint64, cluster int, hops Hops, now Clock) Clock {
+	if s.inj == nil {
+		return 0
+	}
+	extra, nacks := s.inj.Fetch(line, cluster, hops != HopLocalClean, now)
+	st := &s.clusterStat[cluster]
+	st.Nacks += uint64(nacks)
+	st.FaultCycles += uint64(extra)
+	return extra
+}
 
 // LineBytes returns the coherence granularity.
 func (s *System) LineBytes() uint64 { return 1 << s.lineShift }
@@ -324,7 +351,7 @@ func (s *System) Read(proc, cluster int, addr memory.Addr, now Clock) Access {
 			hops = HopRemoteClean
 		}
 	}
-	lat := s.lat.of(hops)
+	lat := s.lat.of(hops) + s.injectFetch(line, cluster, hops, now)
 	s.dir.AddSharer(line, cluster)
 	s.insert(cluster, line, cache.Shared, now, now+lat)
 	return Access{Class: ReadMiss, Hops: hops, Stall: lat}
@@ -345,19 +372,19 @@ func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
 				return Access{Class: WriteMerge}
 			}
 			// Write to an in-flight read fill: upgrade the fill.
-			s.invalidateOthers(line, cluster, proc, now)
+			ack := s.invalidateOthers(line, cluster, proc, now)
 			l.FillState = cache.Exclusive
 			s.dir.SetExclusive(line, cluster)
-			return Access{Class: Upgrade}
+			return Access{Class: Upgrade, Stall: ack}
 		}
 		switch l.State {
 		case cache.Exclusive:
 			return Access{Class: Hit}
 		case cache.Shared:
-			s.invalidateOthers(line, cluster, proc, now)
+			ack := s.invalidateOthers(line, cluster, proc, now)
 			l.State = cache.Exclusive
 			s.dir.SetExclusive(line, cluster)
-			return Access{Class: Upgrade}
+			return Access{Class: Upgrade, Stall: ack}
 		}
 	}
 
@@ -381,12 +408,13 @@ func (s *System) Write(proc, cluster int, addr memory.Addr, now Clock) Access {
 			hops = HopRemoteClean
 		}
 	}
-	s.invalidateOthers(line, cluster, proc, now)
+	lat := s.lat.of(hops) + s.injectFetch(line, cluster, hops, now)
+	ack := s.invalidateOthers(line, cluster, proc, now)
 	s.dir.SetExclusive(line, cluster)
-	s.insert(cluster, line, cache.Exclusive, now, now+s.lat.of(hops))
+	s.insert(cluster, line, cache.Exclusive, now, now+lat)
 	// Stall carries the fetch latency for the blocking-writes ablation;
 	// with the paper's store-buffer assumption the processor ignores it.
-	return Access{Class: WriteMiss, Hops: hops, Stall: s.lat.of(hops)}
+	return Access{Class: WriteMiss, Hops: hops, Stall: lat + ack}
 }
 
 // insert installs a pending fill, handling the victim's directory traffic.
@@ -413,8 +441,12 @@ func (s *System) insert(cluster int, line uint64, fill cache.State, now, readyAt
 
 // invalidateOthers removes every copy of line outside cluster, updating
 // the directory and the invalidation counters. proc is the writing
-// processor and now the write's issue time, for the observer.
-func (s *System) invalidateOthers(line uint64, cluster, proc int, now Clock) {
+// processor and now the write's issue time, for the observer. The
+// return value is the writer's wait for the slowest injected straggler
+// acknowledgement (0 without fault injection) — acks are gathered in
+// parallel, so the waits overlap rather than add.
+func (s *System) invalidateOthers(line uint64, cluster, proc int, now Clock) Clock {
+	var ackDelay Clock
 	mask := s.dir.ClearAll(line)
 	mask &^= 1 << uint(cluster)
 	for mask != 0 {
@@ -426,7 +458,18 @@ func (s *System) invalidateOthers(line uint64, cluster, proc int, now Clock) {
 		if lost && s.obs != nil {
 			s.obs.Invalidated(line, proc, cluster, j, now)
 		}
+		if s.inj != nil {
+			if d := s.inj.AckDelay(line, j, now); d > 0 {
+				s.clusterStat[j].AckDelays++
+				if d > ackDelay {
+					ackDelay = d
+				}
+			}
+		}
 	}
+	// The writer waits only for the slowest straggler; charge it that.
+	s.clusterStat[cluster].FaultCycles += uint64(ackDelay)
+	return ackDelay
 }
 
 func (s *System) checkAccess(cluster int, addr memory.Addr) {

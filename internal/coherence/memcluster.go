@@ -6,6 +6,7 @@ import (
 
 	"clustersim/internal/cache"
 	"clustersim/internal/directory"
+	"clustersim/internal/fault"
 	"clustersim/internal/memory"
 )
 
@@ -41,6 +42,7 @@ type MemClusterSystem struct {
 	numClusters int
 	clusterStat []Stats
 	obs         Observer
+	inj         *fault.Injector
 }
 
 // NewMemClusterSystem builds a shared-main-memory-cluster system.
@@ -117,6 +119,24 @@ func (s *MemClusterSystem) L1(proc int) cache.Store { return s.l1[proc] }
 // cluster never lost the data.
 func (s *MemClusterSystem) SetObserver(o Observer) { s.obs = o }
 
+// SetFaults attaches a deterministic fault injector (nil detaches).
+// Only inter-cluster directory traffic is exposed to faults; the
+// intra-cluster snoopy bus is reliable.
+func (s *MemClusterSystem) SetFaults(in *fault.Injector) { s.inj = in }
+
+// injectFetch consults the fault plan for one global fetch or ownership
+// request, as System.injectFetch.
+func (s *MemClusterSystem) injectFetch(line uint64, cluster int, hops Hops, now Clock) Clock {
+	if s.inj == nil {
+		return 0
+	}
+	extra, nacks := s.inj.Fetch(line, cluster, hops != HopLocalClean, now)
+	st := &s.clusterStat[cluster]
+	st.Nacks += uint64(nacks)
+	st.FaultCycles += uint64(extra)
+	return extra
+}
+
 // InCluster reports whether the cluster's attraction memory holds line.
 func (s *MemClusterSystem) InCluster(cluster int, line uint64) bool {
 	_, ok := s.attraction[cluster][line]
@@ -167,7 +187,7 @@ func (s *MemClusterSystem) Read(proc, cluster int, addr memory.Addr, now Clock) 
 			hops = HopRemoteClean
 		}
 	}
-	lat := s.lat.of(hops)
+	lat := s.lat.of(hops) + s.injectFetch(line, cluster, hops, now)
 	s.dir.AddSharer(line, cluster)
 	s.attraction[cluster][line] = cache.Shared
 	s.insertL1(proc, cluster, line, cache.Shared, now, now+lat)
@@ -188,24 +208,24 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 			if l.FillState == cache.Exclusive {
 				return Access{Class: WriteMerge}
 			}
-			s.makeExclusive(proc, cluster, line, now)
+			ack := s.makeExclusive(proc, cluster, line, now)
 			l.FillState = cache.Exclusive
-			return Access{Class: Upgrade}
+			return Access{Class: Upgrade, Stall: ack}
 		}
 		switch l.State {
 		case cache.Exclusive:
 			return Access{Class: Hit}
 		case cache.Shared:
-			s.makeExclusive(proc, cluster, line, now)
+			ack := s.makeExclusive(proc, cluster, line, now)
 			l.State = cache.Exclusive
-			return Access{Class: Upgrade}
+			return Access{Class: Upgrade, Stall: ack}
 		}
 	}
 	if _, ok := s.attraction[cluster][line]; ok {
 		// In-cluster write miss: bus fetch (hidden) plus ownership.
-		s.makeExclusive(proc, cluster, line, now)
+		ack := s.makeExclusive(proc, cluster, line, now)
 		s.insertL1(proc, cluster, line, cache.Exclusive, now, now+s.bus)
-		return Access{Class: WriteMiss, Hops: HopIntraCluster, Stall: s.bus}
+		return Access{Class: WriteMiss, Hops: HopIntraCluster, Stall: s.bus + ack}
 	}
 	// Global write miss.
 	home := s.as.HomeOf(addr)
@@ -228,19 +248,24 @@ func (s *MemClusterSystem) Write(proc, cluster int, addr memory.Addr, now Clock)
 			hops = HopRemoteClean
 		}
 	}
-	s.invalidateOtherClusters(line, cluster, proc, now)
+	lat := s.lat.of(hops) + s.injectFetch(line, cluster, hops, now)
+	ack := s.invalidateOtherClusters(line, cluster, proc, now)
 	s.dir.SetExclusive(line, cluster)
 	s.attraction[cluster][line] = cache.Exclusive
-	s.insertL1(proc, cluster, line, cache.Exclusive, now, now+s.lat.of(hops))
-	return Access{Class: WriteMiss, Hops: hops, Stall: s.lat.of(hops)}
+	s.insertL1(proc, cluster, line, cache.Exclusive, now, now+lat)
+	return Access{Class: WriteMiss, Hops: hops, Stall: lat + ack}
 }
 
 // makeExclusive gives proc's cluster exclusive ownership of line and
 // removes every other copy: other clusters entirely, and the sibling
-// processors' private caches within the cluster.
-func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64, now Clock) {
+// processors' private caches within the cluster. It returns the
+// writer's wait for the slowest injected straggler acknowledgement
+// (always 0 when the cluster already owned the line — no messages
+// leave the cluster, and the snoopy bus is reliable).
+func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64, now Clock) Clock {
+	var ack Clock
 	if st, ok := s.attraction[cluster][line]; !ok || st != cache.Exclusive {
-		s.invalidateOtherClusters(line, cluster, proc, now)
+		ack = s.invalidateOtherClusters(line, cluster, proc, now)
 		s.dir.SetExclusive(line, cluster)
 		s.attraction[cluster][line] = cache.Exclusive
 	}
@@ -254,13 +279,17 @@ func (s *MemClusterSystem) makeExclusive(proc, cluster int, line uint64, now Clo
 			s.clusterStat[cluster].InvalidationsReceived++
 		}
 	}
+	return ack
 }
 
 // invalidateOtherClusters removes line from every cluster except the
 // writer's: their attraction memories and all their processors' caches.
 // The write was issued by proc at time now; each victim cluster's loss
-// is reported to the observer.
-func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster, proc int, now Clock) {
+// is reported to the observer. It returns the writer's wait for the
+// slowest injected straggler acknowledgement (0 without fault
+// injection) — acks are gathered in parallel, so waits overlap.
+func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster, proc int, now Clock) Clock {
+	var ackDelay Clock
 	mask := s.dir.ClearAll(line)
 	mask &^= 1 << uint(cluster)
 	for mask != 0 {
@@ -276,7 +305,17 @@ func (s *MemClusterSystem) invalidateOtherClusters(line uint64, cluster, proc in
 		if s.obs != nil {
 			s.obs.Invalidated(line, proc, cluster, j, now)
 		}
+		if s.inj != nil {
+			if d := s.inj.AckDelay(line, j, now); d > 0 {
+				s.clusterStat[j].AckDelays++
+				if d > ackDelay {
+					ackDelay = d
+				}
+			}
+		}
 	}
+	s.clusterStat[cluster].FaultCycles += uint64(ackDelay)
+	return ackDelay
 }
 
 // downgradeCluster moves a cluster's exclusive line to shared: the

@@ -23,6 +23,7 @@ import (
 
 	"clustersim/internal/cache"
 	"clustersim/internal/coherence"
+	"clustersim/internal/fault"
 	"clustersim/internal/memory"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
@@ -166,6 +167,19 @@ type Config struct {
 	// UPGRADE misses could be completely hidden by store buffers and a
 	// relaxed consistency model". Ablation knob.
 	BlockingWrites bool
+
+	// Faults, when non-nil, attaches the deterministic fault plan (see
+	// the fault package): directory-busy NACKs with bounded virtual-time
+	// retry, straggling invalidation acknowledgements and remote-hop
+	// jitter. A nil plan is omitted from the JSON manifest and the
+	// config hash, so runs without fault injection stay byte-identical
+	// to builds that predate the fault layer.
+	Faults *fault.Config `json:",omitempty"`
+
+	// Label names the running application for crash diagnostics (engine
+	// panics are annotated with it). Purely descriptive, so it is
+	// excluded from the manifest and the config hash.
+	Label string `json:"-"`
 }
 
 // DefaultConfig returns the paper's baseline machine: 64 processors,
@@ -229,6 +243,11 @@ func (c Config) Validate() error {
 	}
 	if c.Assoc < 0 {
 		return fmt.Errorf("core: negative associativity")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.Assoc > 0 {
 		lines := c.CacheLinesPerCluster()

@@ -5,6 +5,7 @@ import (
 
 	"clustersim/internal/coherence"
 	"clustersim/internal/engine"
+	"clustersim/internal/fault"
 	"clustersim/internal/memory"
 	"clustersim/internal/profile"
 	"clustersim/internal/sanitizer"
@@ -61,6 +62,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	as.SetPolicy(cfg.Placement)
+	// The fault injector (if any) is built once and attached to whichever
+	// organisation the switch below constructs. A nil plan, or one whose
+	// probabilities are all zero, attaches nothing: the coherence hot
+	// paths keep their single nil check and the run is byte-identical to
+	// a machine without the fault layer.
+	var inj *fault.Injector
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		inj, err = fault.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var sys coherence.MemoryModel
 	switch cfg.Organization {
 	case SharedMemory:
@@ -68,7 +81,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if bus == 0 {
 			bus = coherence.DefaultBusCycles
 		}
-		sys, err = coherence.NewMemClusterSystem(as, cfg.NumClusters(), cfg.ClusterSize,
+		mc, err := coherence.NewMemClusterSystem(as, cfg.NumClusters(), cfg.ClusterSize,
 			cfg.CacheLinesPerProc(), cfg.Assoc, cfg.LineBytes, cfg.Latencies, bus, cfg.Policy)
 		if err != nil {
 			return nil, err
@@ -76,6 +89,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if cfg.DisableReplacementHints {
 			return nil, fmt.Errorf("core: replacement hints do not apply to shared-memory clusters")
 		}
+		mc.SetFaults(inj)
+		sys = mc
 	default:
 		sc, err := coherence.NewSystemAssoc(as, cfg.NumClusters(), cfg.CacheLinesPerCluster(),
 			cfg.Assoc, cfg.LineBytes, cfg.Latencies, cfg.Policy)
@@ -85,6 +100,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if cfg.DisableReplacementHints {
 			sc.DisableReplacementHints()
 		}
+		sc.SetFaults(inj)
 		sys = sc
 	}
 	m := &Machine{cfg: cfg, as: as, sys: sys}
@@ -100,6 +116,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.SetTracer(cfg.Tracer)
 	}
 	m.sched = engine.NewScheduler(cfg.Procs, cfg.Quantum)
+	m.sched.SetLabel(cfg.Label)
 	m.procs = make([]*Proc, cfg.Procs)
 	for i, pe := range m.sched.PEs() {
 		m.procs[i] = &Proc{pe: pe, m: m, cluster: cfg.ClusterOf(i)}

@@ -116,6 +116,18 @@ func (r *Result) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "  miss service    local-clean %d  local-dirty %d  remote-clean %d  remote-dirty %d\n",
 		a.LocalClean, a.LocalDirty, a.RemoteClean, a.RemoteDirty)
 	fmt.Fprintf(w, "  invalidations   %12d\n", r.TotalInvalidations())
+	if r.Config.Faults != nil {
+		// Only faulted runs print this line, keeping fault-free output
+		// byte-identical to builds that predate the fault layer.
+		var nacks, acks, cycles uint64
+		for _, st := range r.Clusters {
+			nacks += st.Nacks
+			acks += st.AckDelays
+			cycles += st.FaultCycles
+		}
+		fmt.Fprintf(w, "  faults          nacks %d  ack-delays %d  injected %d cycles (seed %d)\n",
+			nacks, acks, cycles, r.Config.Faults.Seed)
+	}
 	fmt.Fprintf(w, "  footprint       %12d bytes\n", r.Footprint)
 }
 

@@ -152,6 +152,7 @@ type Scheduler struct {
 	quantum   Clock
 	nFinished int
 	probe     Probe
+	label     string // workload name, for panic diagnostics
 	err       error
 	mu        sync.Mutex // guards err on the kernel-panic path only
 }
@@ -184,6 +185,17 @@ func (s *Scheduler) PEs() []*PE { return s.pes }
 // (the default) disables observation entirely.
 func (s *Scheduler) SetProbe(p Probe) { s.probe = p }
 
+// SetLabel names the workload for panic diagnostics; call before Run.
+// An empty label (the default) reports as "unnamed".
+func (s *Scheduler) SetLabel(label string) { s.label = label }
+
+func (s *Scheduler) labelOrDefault() string {
+	if s.label == "" {
+		return "unnamed"
+	}
+	return s.label
+}
+
 // Run executes kernel once per processor, each on its own goroutine, and
 // returns when every kernel has finished or the simulation has failed.
 // It returns the first error (kernel panic, deadlock, or Fail call).
@@ -202,8 +214,12 @@ func (s *Scheduler) Run(kernel func(*PE)) error {
 					if _, ok := r.(abortPanic); ok {
 						return
 					}
-					s.failFromPanic(fmt.Errorf("engine: processor %d panicked: %v\n%s",
-						pe.id, r, debug.Stack()))
+					// Annotate with the crash site's simulation coordinates
+					// (workload, PE, virtual time) so a failure is
+					// diagnosable — and, with a seeded fault plan,
+					// replayable — from the error alone.
+					s.failFromPanic(fmt.Errorf("engine: app %q: processor %d panicked at virtual time %d: %v\n%s",
+						s.labelOrDefault(), pe.id, pe.time, r, debug.Stack()))
 				}
 			}()
 			pe.wait()

@@ -202,6 +202,41 @@ func TestKernelPanicPropagates(t *testing.T) {
 	}
 }
 
+// TestKernelPanicAnnotated requires that a kernel panic is reported
+// with the crash site's full simulation coordinates: the workload
+// label, the PE id and the PE's virtual time at the panic — enough to
+// replay a seeded failure from the error text alone.
+func TestKernelPanicAnnotated(t *testing.T) {
+	s := NewScheduler(4, 0)
+	s.SetLabel("ocean")
+	err := s.Run(func(pe *PE) {
+		pe.Advance(123)
+		pe.Yield()
+		if pe.ID() == 3 {
+			panic("boom")
+		}
+		pe.Block("will be aborted")
+	})
+	if err == nil {
+		t.Fatal("want panic error")
+	}
+	for _, want := range []string{`app "ocean"`, "processor 3", "virtual time 123", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestKernelPanicUnlabeled: without a label the annotation falls back
+// to "unnamed" rather than an empty string.
+func TestKernelPanicUnlabeled(t *testing.T) {
+	s := NewScheduler(1, 0)
+	err := s.Run(func(pe *PE) { panic("bang") })
+	if err == nil || !strings.Contains(err.Error(), `app "unnamed"`) {
+		t.Fatalf("want unnamed-app annotation, got %v", err)
+	}
+}
+
 func TestFailAborts(t *testing.T) {
 	sentinel := errors.New("app-level failure")
 	s := NewScheduler(4, 0)

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// Exit codes of the experiments CLI, distinct so scripts (and the
+// resume smoke test) can tell failure modes apart.
+const (
+	ExitOK          = 0 // every requested experiment completed
+	ExitFailures    = 1 // at least one point or experiment failed; the rest ran
+	ExitUsage       = 2 // bad flags or configuration
+	ExitInterrupted = 3 // SIGINT/SIGTERM (or -stop-after) stopped the suite between points
+	ExitWatchdog    = 4 // -point-timeout aborted a hung point
+)
+
+// ErrInterrupted reports that the suite stopped between points — on an
+// operator signal or a -stop-after budget — with all completed work
+// flushed. It is a clean stop, not a failure: resume from the same
+// -state directory.
+var ErrInterrupted = errors.New("experiments: interrupted; resume from the -state directory")
+
+// SignalStop converts SIGINT/SIGTERM into a cooperative stop flag the
+// suite polls between simulation points, so the point in flight
+// finishes and its journal/trace/profile/manifest writes are flushed
+// whole. A second signal exits immediately.
+type SignalStop struct {
+	stopped atomic.Bool
+	ch      chan os.Signal
+}
+
+// NewSignalStop installs the handler. Call Close to uninstall.
+func NewSignalStop() *SignalStop {
+	s := &SignalStop{ch: make(chan os.Signal, 2)}
+	signal.Notify(s.ch, syscall.SIGINT, syscall.SIGTERM)
+	// Harness-level watcher, not simulation code: it only flips the stop
+	// flag the suite polls between points (and force-exits on a second
+	// signal), so it cannot perturb virtual-time ordering.
+	go func() { //simlint:allow goroutine
+		sig, ok := <-s.ch
+		if !ok {
+			return
+		}
+		s.stopped.Store(true)
+		fmt.Fprintf(os.Stderr, "experiments: %v: finishing the current point, then flushing; repeat to exit now\n", sig)
+		if sig, ok := <-s.ch; ok {
+			fmt.Fprintf(os.Stderr, "experiments: second %v: exiting immediately\n", sig)
+			os.Exit(ExitInterrupted)
+		}
+	}()
+	return s
+}
+
+// Stopped reports whether a signal has arrived; the suite polls it
+// between points via Options.Stop.
+func (s *SignalStop) Stopped() bool { return s.stopped.Load() }
+
+// Close uninstalls the handler and releases the watcher.
+func (s *SignalStop) Close() {
+	signal.Stop(s.ch)
+	close(s.ch)
+}

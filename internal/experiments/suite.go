@@ -18,6 +18,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/fault"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
@@ -68,6 +69,37 @@ type Options struct {
 	// ManifestOut, when non-nil, receives one compact JSON run manifest
 	// per simulated point, one per line (JSONL).
 	ManifestOut io.Writer
+
+	// Faults, when non-nil, attaches the deterministic fault plan to
+	// every simulated point (see the fault package). The plan is part of
+	// each point's config hash, so faulted and fault-free results never
+	// share a journal entry.
+	Faults *fault.Config
+
+	// Journal, when non-nil, records every finished point as one JSON
+	// file and replays journalled points instead of re-simulating them,
+	// making an interrupted suite resumable with byte-identical tables.
+	Journal *Journal
+
+	// Stop, when non-nil, is polled before each fresh simulation; when
+	// it reports true the suite returns ErrInterrupted with all finished
+	// work flushed (see SignalStop).
+	Stop func() bool
+
+	// StopAfter, when positive, interrupts the suite after that many
+	// freshly simulated (not replayed) points — a deterministic stand-in
+	// for an operator interrupt, used by the resume smoke test.
+	StopAfter int
+
+	// PointTimeout, when positive, arms a wall-clock watchdog around
+	// each simulated point: a point that wedges past the timeout is
+	// journalled as failed and the process exits with ExitWatchdog
+	// instead of hanging the suite forever.
+	PointTimeout time.Duration
+
+	// RetryFailed re-runs points the journal has recorded as failed;
+	// by default a journalled failure is reported without re-running.
+	RetryFailed bool
 }
 
 // DefaultOptions is the paper's machine at the scaled default problem
@@ -90,6 +122,7 @@ func (o Options) config(clusterSize, cacheKB int) core.Config {
 	cfg.CacheKBPerProc = cacheKB
 	cfg.Quantum = o.Quantum
 	cfg.Sanitize = o.Sanitize
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -102,8 +135,9 @@ type runKey struct {
 // Suite memoizes simulation runs so tables that share configurations
 // (e.g. Figure 4 and Table 6) simulate each point once.
 type Suite struct {
-	Opt  Options
-	runs map[runKey]*core.Result
+	Opt   Options
+	runs  map[runKey]*core.Result
+	fresh int // points actually simulated (not replayed), for StopAfter
 }
 
 // NewSuite creates a suite with the given options.
@@ -112,7 +146,11 @@ func NewSuite(opt Options) *Suite {
 }
 
 // Run simulates one (application, cluster size, cache size) point,
-// memoized.
+// memoized. With a Journal attached, a previously journalled point is
+// replayed instead of re-simulated and a fresh one is journalled; the
+// point executes under panic isolation (a panic becomes a per-point
+// failure record and error, not a suite crash) and, with PointTimeout,
+// a wall-clock watchdog.
 func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) {
 	key := runKey{app, clusterSize, cacheKB}
 	if r, ok := s.runs[key]; ok {
@@ -123,6 +161,41 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		return nil, err
 	}
 	cfg := s.Opt.config(clusterSize, cacheKB)
+	sizeName := s.Opt.Size.String()
+	var hash string
+	if s.Opt.Journal != nil || s.Opt.PointTimeout > 0 {
+		if hash, err = telemetry.HashConfig(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if s.Opt.Journal != nil {
+		res, ok, err := s.Opt.Journal.Load(app, sizeName, clusterSize, cacheKB, hash)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if s.Opt.Progress != nil {
+				fmt.Fprintf(s.Opt.Progress, "replayed %s cluster=%d cache=%s from journal: exec %d cycles\n",
+					app, clusterSize, cacheName(cacheKB), res.ExecTime)
+			}
+			s.runs[key] = res
+			return res, nil
+		}
+		if !s.Opt.RetryFailed {
+			if fr, ok, err := s.Opt.Journal.LoadFailure(app, sizeName, clusterSize, cacheKB, hash); err != nil {
+				return nil, err
+			} else if ok {
+				return nil, fmt.Errorf("%s cluster=%d cache=%s: journalled as failed (re-run with -retry-failed to attempt again): %s",
+					app, clusterSize, cacheName(cacheKB), fr.Error)
+			}
+		}
+	}
+	if s.Opt.Stop != nil && s.Opt.Stop() {
+		return nil, ErrInterrupted
+	}
+	if s.Opt.StopAfter > 0 && s.fresh >= s.Opt.StopAfter {
+		return nil, ErrInterrupted
+	}
 	var col *telemetry.Collector
 	if s.Opt.observing() {
 		col = telemetry.New()
@@ -134,18 +207,83 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		prof = profile.New()
 		cfg.Profile = prof
 	}
+	if s.Opt.PointTimeout > 0 {
+		timer := s.armWatchdog(key, sizeName, hash)
+		defer timer.Stop()
+	}
 	// Wall timing here feeds the progress line and run manifest only,
 	// never simulated state.
 	start := time.Now() //simlint:allow wallclock
-	res, err := w.Run(cfg, s.Opt.Size)
+	res, err := runPoint(w, cfg, s.Opt.Size)
 	if err != nil {
-		return nil, fmt.Errorf("%s cluster=%d cache=%dKB: %w", app, clusterSize, cacheKB, err)
+		pointErr := fmt.Errorf("%s cluster=%d cache=%s: %w", app, clusterSize, cacheName(cacheKB), err)
+		if s.Opt.Journal != nil {
+			if jerr := s.Opt.Journal.StoreFailure(FailureRecord{
+				App: app, Size: sizeName, ClusterSize: clusterSize, CacheKB: cacheKB,
+				ConfigHash: hash, Error: err.Error(),
+			}); jerr != nil {
+				return nil, fmt.Errorf("%w (and journalling the failure failed: %v)", pointErr, jerr)
+			}
+		}
+		return nil, pointErr
 	}
+	s.fresh++
 	if err := s.export(key, cfg, col, prof, res, time.Since(start)); err != nil { //simlint:allow wallclock
 		return nil, err
 	}
+	if s.Opt.Journal != nil {
+		if err := s.Opt.Journal.Store(PointRecord{
+			App: app, Size: sizeName, ClusterSize: clusterSize, CacheKB: cacheKB,
+			ConfigHash: hash, Result: res,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	s.runs[key] = res
 	return res, nil
+}
+
+// runPoint executes one workload under panic isolation: a panic that
+// escapes the engine (application setup or verification code running
+// outside Scheduler.Run) is converted to an error carrying the
+// workload's coordinates instead of killing the whole suite. Engine-
+// internal panics are already annotated and converted by the scheduler.
+func runPoint(w apps.Runner, cfg core.Config, size apps.Size) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("point panicked outside the engine: %v", r)
+		}
+	}()
+	return w.Run(cfg, size)
+}
+
+// armWatchdog starts the per-point wall-clock watchdog: if the point is
+// still running when the timer fires, the point is journalled as failed
+// (so a resume skips it) and the process exits with ExitWatchdog. The
+// failure record is fully precomputed here — the callback runs on a
+// runtime timer goroutine and must not touch suite state.
+func (s *Suite) armWatchdog(key runKey, sizeName, hash string) *time.Timer {
+	j := s.Opt.Journal
+	timeout := s.Opt.PointTimeout
+	rec := FailureRecord{
+		App: key.app, Size: sizeName, ClusterSize: key.clusterSize, CacheKB: key.cacheKB,
+		ConfigHash: hash,
+		Error:      fmt.Sprintf("watchdog: point exceeded the %v wall-clock budget", timeout),
+	}
+	// Harness-level wall clock: the watchdog guards the real process
+	// against a wedged point and never feeds simulated state.
+	return time.AfterFunc(timeout, func() { //simlint:allow wallclock
+		fmt.Fprintf(os.Stderr, "experiments: watchdog: %s cluster=%d cache=%s still running after %v; aborting\n",
+			key.app, key.clusterSize, cacheName(key.cacheKB), timeout)
+		if j != nil {
+			if err := j.StoreFailure(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: watchdog:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: point journalled as failed; resume from -state %s\n", j.Dir())
+			}
+		}
+		os.Exit(ExitWatchdog)
+	})
 }
 
 // observing reports whether runs need a telemetry collector attached.

@@ -1,0 +1,377 @@
+// Package fault provides the simulator's deterministic fault-injection
+// plan. The paper's DASH-style directory protocol really runs over an
+// interconnect where a request can find the directory busy and be
+// NACKed, where invalidation acknowledgements straggle, and where
+// remote-hop latency jitters with traffic. The reproduction's coherence
+// layer models the happy path; this package supplies the transient
+// failures, so fault sensitivity becomes an experiment axis rather than
+// an article of faith.
+//
+// Three fault classes are injected, all expressed purely as extra
+// virtual-time latency (protocol state transitions are never altered,
+// so every directory/cache invariant the sanitizer checks still holds):
+//
+//   - NACK: a fetch or ownership request finds the home directory busy
+//     and is retried after an exponential backoff in virtual time. A
+//     request NACKed more than MaxRetries times starves, which is a
+//     fatal liveness violation: the injector panics with its recent
+//     fault ring so the failure is replayable.
+//   - Ack delay: one invalidation acknowledgement returns late,
+//     stretching the writer's ownership transaction.
+//   - Perturbation: a remote-hop fetch picks up jitter cycles.
+//
+// Determinism: the injector draws from a counter-based splitmix64
+// stream seeded by Config.Seed — no wall clock, no global rand, no
+// allocation on the hot path. The engine's token discipline serialises
+// all memory transactions into one global virtual-time order, so the
+// n-th draw of a run is always made by the same transaction and a fixed
+// seed reproduces a run bit for bit.
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock counts simulated cycles, mirroring engine.Clock.
+type Clock = int64
+
+// Defaults for the zero fields of Config.
+const (
+	// DefaultMaxRetries is the liveness cap: a request NACKed more than
+	// this many times starves and the run aborts with a diagnostic.
+	DefaultMaxRetries = 8
+	// DefaultBackoffBase is the first retry's wait in cycles, roughly a
+	// local memory round trip (Table 1's 30-cycle local fetch, shaved to
+	// a re-arbitration).
+	DefaultBackoffBase Clock = 20
+	// DefaultBackoffCap bounds a single backoff step so starving
+	// requests fail fast instead of sleeping geometrically forever.
+	DefaultBackoffCap Clock = 640
+	// DefaultAckDelayCycles is the extra wait when an invalidation
+	// acknowledgement straggles.
+	DefaultAckDelayCycles Clock = 40
+	// DefaultPerturbMaxCycles bounds the uniform remote-hop jitter.
+	DefaultPerturbMaxCycles Clock = 16
+)
+
+// Config is the serialisable fault plan. The zero value injects nothing
+// (every probability is zero), and core.Config carries a *Config with
+// omitempty, so a nil plan leaves config hashes and Result JSON
+// byte-identical to a build without the fault layer. Probabilities are
+// integers per thousand transactions, keeping the plan free of
+// floating-point representation concerns.
+type Config struct {
+	// Seed selects the deterministic fault stream. Two runs of the same
+	// configuration and seed inject byte-identically.
+	Seed int64
+
+	// NackPerMille is the probability (‰) that one directory fetch or
+	// ownership request is NACKed busy; each retry rolls again, so a
+	// request's total NACK count is geometric with this parameter.
+	NackPerMille int
+
+	// AckDelayPerMille is the probability (‰) that a victim cluster's
+	// invalidation acknowledgement is delayed.
+	AckDelayPerMille int
+
+	// PerturbPerMille is the probability (‰) that a remote-hop fetch
+	// picks up jitter of 1..PerturbMaxCycles cycles.
+	PerturbPerMille int
+
+	// MaxRetries caps consecutive NACKs of one request before the run
+	// aborts as starved (0 = DefaultMaxRetries).
+	MaxRetries int
+
+	// BackoffBase is the first retry wait in cycles (0 = DefaultBackoffBase).
+	BackoffBase Clock
+
+	// BackoffCap bounds one backoff step (0 = DefaultBackoffCap).
+	BackoffCap Clock
+
+	// AckDelayCycles is the straggler acknowledgement's extra latency
+	// (0 = DefaultAckDelayCycles).
+	AckDelayCycles Clock
+
+	// PerturbMaxCycles bounds remote-hop jitter (0 = DefaultPerturbMaxCycles).
+	PerturbMaxCycles Clock
+}
+
+// Validate reports whether the plan is runnable.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"NackPerMille", c.NackPerMille},
+		{"AckDelayPerMille", c.AckDelayPerMille},
+		{"PerturbPerMille", c.PerturbPerMille},
+	} {
+		if p.v < 0 || p.v > 1000 {
+			return fmt.Errorf("fault: %s %d outside [0,1000]", p.name, p.v)
+		}
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative MaxRetries %d", c.MaxRetries)
+	}
+	for _, p := range []struct {
+		name string
+		v    Clock
+	}{
+		{"BackoffBase", c.BackoffBase},
+		{"BackoffCap", c.BackoffCap},
+		{"AckDelayCycles", c.AckDelayCycles},
+		{"PerturbMaxCycles", c.PerturbMaxCycles},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("fault: negative %s %d", p.name, p.v)
+		}
+	}
+	if c.BackoffBase > 0 && c.BackoffCap > 0 && c.BackoffCap < c.BackoffBase {
+		return fmt.Errorf("fault: BackoffCap %d below BackoffBase %d", c.BackoffCap, c.BackoffBase)
+	}
+	return nil
+}
+
+// Active reports whether the plan can inject anything at all.
+func (c Config) Active() bool {
+	return c.NackPerMille > 0 || c.AckDelayPerMille > 0 || c.PerturbPerMille > 0
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+func (c Config) backoffBase() Clock {
+	if c.BackoffBase == 0 {
+		return DefaultBackoffBase
+	}
+	return c.BackoffBase
+}
+
+func (c Config) backoffCap() Clock {
+	if c.BackoffCap == 0 {
+		return DefaultBackoffCap
+	}
+	return c.BackoffCap
+}
+
+func (c Config) ackDelayCycles() Clock {
+	if c.AckDelayCycles == 0 {
+		return DefaultAckDelayCycles
+	}
+	return c.AckDelayCycles
+}
+
+func (c Config) perturbMax() Clock {
+	if c.PerturbMaxCycles == 0 {
+		return DefaultPerturbMaxCycles
+	}
+	return c.PerturbMaxCycles
+}
+
+// Backoff returns the virtual-time wait before retry number attempt
+// (0-based): BackoffBase doubled per attempt, capped at BackoffCap.
+func (c Config) Backoff(attempt int) Clock {
+	b := c.backoffBase()
+	cap := c.backoffCap()
+	for i := 0; i < attempt; i++ {
+		b *= 2
+		if b >= cap {
+			return cap
+		}
+	}
+	if b > cap {
+		return cap
+	}
+	return b
+}
+
+// Kind classifies one injected fault event.
+type Kind uint8
+
+const (
+	// KindNack is a directory-busy NACK followed by a backoff retry.
+	KindNack Kind = iota
+	// KindAckDelay is a straggling invalidation acknowledgement.
+	KindAckDelay
+	// KindPerturb is remote-hop latency jitter.
+	KindPerturb
+	// KindStarved is the fatal liveness violation: a request exhausted
+	// its retry budget.
+	KindStarved
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNack:
+		return "NACK"
+	case KindAckDelay:
+		return "ACK_DELAY"
+	case KindPerturb:
+		return "PERTURB"
+	case KindStarved:
+		return "STARVED"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one injected fault, as recorded in the replay ring.
+type Event struct {
+	Seq     uint64 // injection sequence number
+	Kind    Kind
+	Line    uint64 // coherence line number
+	Cluster int    // requesting (NACK, PERTURB) or victim (ACK_DELAY) cluster
+	Time    Clock  // virtual issue time of the transaction
+	Extra   Clock  // cycles injected by this event
+}
+
+// String renders one ring line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d t=%d c%d %s line %#x +%d cycles",
+		e.Seq, e.Time, e.Cluster, e.Kind, e.Line, e.Extra)
+}
+
+// Stats totals the injected faults of one run.
+type Stats struct {
+	Nacks       uint64 // NACKed requests (each forced one backoff retry)
+	AckDelays   uint64 // straggling invalidation acknowledgements
+	Perturbs    uint64 // jittered remote fetches
+	ExtraCycles uint64 // total virtual-time latency injected
+}
+
+// ringCap is the capacity of the fault replay ring kept for the
+// starvation diagnostic.
+const ringCap = 64
+
+// Injector draws the per-transaction fault decisions of one run. Not
+// safe for concurrent use — the engine's token discipline already
+// serialises all memory transactions onto one goroutine at a time.
+type Injector struct {
+	cfg   Config
+	draws uint64 // PRNG position: the counter of the splitmix64 stream
+	stats Stats
+	ring  [ringCap]Event
+	seq   uint64 // events recorded; ring[(seq-1)%ringCap] is newest
+}
+
+// NewInjector builds an injector over a validated plan.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// Config returns the injector's plan.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns the fault totals so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// roll advances the deterministic stream one step and returns a uniform
+// 64-bit value (splitmix64: the counter is multiplied into the golden-
+// gamma sequence, then finalised).
+func (in *Injector) roll() uint64 {
+	in.draws++
+	z := uint64(in.cfg.Seed) + in.draws*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// hit draws one decision at perMille probability. A zero probability
+// consumes no draw, so a plan with one fault class disabled does not
+// shift the stream of the others across configs that agree on the rest.
+func (in *Injector) hit(perMille int) bool {
+	if perMille <= 0 {
+		return false
+	}
+	return in.roll()%1000 < uint64(perMille)
+}
+
+func (in *Injector) record(k Kind, line uint64, cluster int, now, extra Clock) {
+	in.ring[in.seq%ringCap] = Event{
+		Seq: in.seq, Kind: k, Line: line, Cluster: cluster, Time: now, Extra: extra,
+	}
+	in.seq++
+}
+
+// Ring returns the recorded fault events, oldest first.
+func (in *Injector) Ring() []Event {
+	n := in.seq
+	if n > ringCap {
+		n = ringCap
+	}
+	out := make([]Event, 0, n)
+	for i := in.seq - n; i < in.seq; i++ {
+		out = append(out, in.ring[i%ringCap])
+	}
+	return out
+}
+
+// Fetch models the request/NACK/retry handshake of one directory fetch
+// or ownership request for line by cluster at virtual time now. It
+// returns the extra latency to fold into the miss and the number of
+// NACKs absorbed. remote additionally exposes the request to remote-hop
+// jitter. If the request is NACKed past the liveness cap it starves:
+// Fetch panics with the fault ring, which the engine annotates with the
+// PE, application and virtual time.
+func (in *Injector) Fetch(line uint64, cluster int, remote bool, now Clock) (extra Clock, nacks int) {
+	max := in.cfg.maxRetries()
+	for in.hit(in.cfg.NackPerMille) {
+		if nacks == max {
+			in.record(KindStarved, line, cluster, now, 0)
+			panic(in.starveDiagnostic(line, cluster, now))
+		}
+		wait := in.cfg.Backoff(nacks)
+		nacks++
+		extra += wait
+		in.record(KindNack, line, cluster, now, wait)
+	}
+	if remote && in.hit(in.cfg.PerturbPerMille) {
+		jitter := Clock(in.roll()%uint64(in.cfg.perturbMax())) + 1
+		extra += jitter
+		in.stats.Perturbs++
+		in.record(KindPerturb, line, cluster, now, jitter)
+	}
+	in.stats.Nacks += uint64(nacks)
+	in.stats.ExtraCycles += uint64(extra)
+	return extra, nacks
+}
+
+// AckDelay draws whether victim cluster's invalidation acknowledgement
+// straggles, returning the extra cycles the writer must wait (0 = on
+// time).
+func (in *Injector) AckDelay(line uint64, victim int, now Clock) Clock {
+	if !in.hit(in.cfg.AckDelayPerMille) {
+		return 0
+	}
+	d := in.cfg.ackDelayCycles()
+	in.stats.AckDelays++
+	in.stats.ExtraCycles += uint64(d)
+	in.record(KindAckDelay, line, victim, now, d)
+	return d
+}
+
+// starveDiagnostic renders the fatal liveness report: the starved
+// transaction plus the recent fault ring, replayable because the stream
+// is a pure function of (seed, draw counter).
+func (in *Injector) starveDiagnostic(line uint64, cluster int, now Clock) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault: line %#x starved: request from cluster %d at t=%d NACKed %d times (liveness cap %d; seed %d)\n",
+		line, cluster, now, in.cfg.maxRetries()+1, in.cfg.maxRetries(), in.cfg.Seed)
+	ring := in.Ring()
+	fmt.Fprintf(&b, "recent fault events (last %d):\n", len(ring))
+	for _, e := range ring {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Seed: 42, NackPerMille: 1000, AckDelayPerMille: 0, PerturbPerMille: 500},
+		{MaxRetries: 3, BackoffBase: 10, BackoffCap: 10},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", c, err)
+		}
+	}
+	bad := []Config{
+		{NackPerMille: -1},
+		{NackPerMille: 1001},
+		{AckDelayPerMille: 2000},
+		{PerturbPerMille: -5},
+		{MaxRetries: -1},
+		{BackoffBase: -1},
+		{AckDelayCycles: -10},
+		{BackoffBase: 100, BackoffCap: 50},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v: want validation error", c)
+		}
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Config().Active() {
+		t.Error("zero-probability plan reports Active")
+	}
+	for i := 0; i < 1000; i++ {
+		extra, nacks := in.Fetch(uint64(i), i%4, true, int64(i))
+		if extra != 0 || nacks != 0 {
+			t.Fatalf("fetch %d injected extra=%d nacks=%d", i, extra, nacks)
+		}
+		if d := in.AckDelay(uint64(i), i%4, int64(i)); d != 0 {
+			t.Fatalf("ack %d delayed %d", i, d)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Errorf("zero plan accumulated stats %+v", s)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	c := Config{} // defaults: base 20, cap 640
+	want := []Clock{20, 40, 80, 160, 320, 640, 640, 640}
+	for i, w := range want {
+		if got := c.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+	custom := Config{BackoffBase: 7, BackoffCap: 20}
+	for i, w := range []Clock{7, 14, 20, 20} {
+		if got := custom.Backoff(i); got != w {
+			t.Errorf("custom Backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestDeterministicStream: two injectors with the same plan draw
+// identical decisions; a different seed draws a different stream.
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{Seed: 7, NackPerMille: 100, AckDelayPerMille: 50, PerturbPerMille: 200}
+	a, _ := NewInjector(cfg)
+	b, _ := NewInjector(cfg)
+	for i := 0; i < 5000; i++ {
+		ea, na := a.Fetch(uint64(i), i%8, i%2 == 0, int64(i))
+		eb, nb := b.Fetch(uint64(i), i%8, i%2 == 0, int64(i))
+		if ea != eb || na != nb {
+			t.Fatalf("draw %d diverged: (%d,%d) vs (%d,%d)", i, ea, na, eb, nb)
+		}
+		if da, db := a.AckDelay(uint64(i), i%8, int64(i)), b.AckDelay(uint64(i), i%8, int64(i)); da != db {
+			t.Fatalf("ack draw %d diverged: %d vs %d", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Nacks == 0 || a.Stats().AckDelays == 0 || a.Stats().Perturbs == 0 {
+		t.Errorf("plan at these rates should inject every class over 5000 draws: %+v", a.Stats())
+	}
+	other, _ := NewInjector(Config{Seed: 8, NackPerMille: 100, AckDelayPerMille: 50, PerturbPerMille: 200})
+	for i := 0; i < 5000; i++ {
+		other.Fetch(uint64(i), i%8, i%2 == 0, int64(i))
+		other.AckDelay(uint64(i), i%8, int64(i))
+	}
+	if other.Stats() == a.Stats() {
+		t.Error("different seeds produced identical fault totals (suspicious)")
+	}
+}
+
+// TestStarvationPanics: a certain-NACK plan exhausts the liveness cap
+// and panics with a diagnostic naming the line and carrying the ring.
+func TestStarvationPanics(t *testing.T) {
+	in, _ := NewInjector(Config{Seed: 1, NackPerMille: 1000, MaxRetries: 4})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want starvation panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic payload %T, want string", r)
+		}
+		for _, want := range []string{"starved", "line 0xabc", "cluster 3", "t=99", "NACK"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("diagnostic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	in.Fetch(0xabc, 3, true, 99)
+}
+
+// TestFetchBackoffAccumulates: with certain NACKs, every retry adds its
+// scheduled backoff before the liveness cap fires.
+func TestFetchBackoffAccumulates(t *testing.T) {
+	cfg := Config{Seed: 5, NackPerMille: 500, MaxRetries: 64}
+	in, _ := NewInjector(cfg)
+	var total Clock
+	for i := 0; i < 2000; i++ {
+		extra, nacks := in.Fetch(uint64(i), 0, false, int64(i))
+		var want Clock
+		for n := 0; n < nacks; n++ {
+			want += cfg.Backoff(n)
+		}
+		if extra != want {
+			t.Fatalf("fetch %d: %d nacks but extra %d, want %d", i, nacks, extra, want)
+		}
+		total += extra
+	}
+	if got := in.Stats().ExtraCycles; got != uint64(total) {
+		t.Errorf("ExtraCycles %d, want %d", got, total)
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	in, _ := NewInjector(Config{Seed: 3, NackPerMille: 900, MaxRetries: 1 << 30})
+	for i := 0; i < 500; i++ {
+		in.Fetch(uint64(i), 1, false, int64(i))
+	}
+	ring := in.Ring()
+	if len(ring) == 0 || len(ring) > ringCap {
+		t.Fatalf("ring length %d", len(ring))
+	}
+	for i := 1; i < len(ring); i++ {
+		if ring[i].Seq != ring[i-1].Seq+1 {
+			t.Fatalf("ring not contiguous at %d: %d then %d", i, ring[i-1].Seq, ring[i].Seq)
+		}
+	}
+	if ring[len(ring)-1].Kind.String() != "NACK" {
+		t.Errorf("newest event kind %v", ring[len(ring)-1].Kind)
+	}
+}
+
+// TestDisabledClassConsumesNoDraw: turning one fault class off must not
+// shift the stream of the remaining classes.
+func TestDisabledClassConsumesNoDraw(t *testing.T) {
+	with, _ := NewInjector(Config{Seed: 11, NackPerMille: 100})
+	without, _ := NewInjector(Config{Seed: 11, NackPerMille: 100, AckDelayPerMille: 0, PerturbPerMille: 0})
+	for i := 0; i < 3000; i++ {
+		// Interleave AckDelay draws on one side only: at probability 0
+		// they must consume nothing.
+		without.AckDelay(uint64(i), 0, int64(i))
+		ea, na := with.Fetch(uint64(i), 0, false, int64(i))
+		eb, nb := without.Fetch(uint64(i), 0, false, int64(i))
+		if ea != eb || na != nb {
+			t.Fatalf("disabled ack class shifted the NACK stream at %d", i)
+		}
+	}
+}

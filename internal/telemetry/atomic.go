@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile writes a file through a same-directory temporary and a
+// rename, so readers — and a process killed mid-write — never observe a
+// torn document. Every JSON artifact a run can be interrupted around
+// (traces, profiles, manifests, journal points) goes through here: the
+// rename is atomic on POSIX filesystems, so the path either holds the
+// complete new contents or whatever was there before.
+func AtomicFile(path string, write func(io.Writer) error) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
