@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sanitize-suite profile-suite fault-suite resume-suite test test-short race bench experiments paper examples clean
+.PHONY: all build vet lint simlint sanitize-suite profile-suite fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
 
 all: build lint test
 
@@ -85,8 +85,38 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-bench:
+# Machine-readable benchmark harness (cmd/perfbench): run the fixed
+# matrix once per point with the host performance monitor attached and
+# write BENCH_<stamp>.json into $(BENCH_OUT) (schema in EXPERIMENTS.md;
+# render or diff with `tracetool bench`). The classic Go
+# microbenchmarks remain available as `make bench-go`.
+BENCH_OUT ?= /tmp/clustersim-bench
+bench: build
+	@mkdir -p $(BENCH_OUT)
+	$(GO) run ./cmd/perfbench -out $(BENCH_OUT)
+
+bench-go:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Regression gate over the CI smoke matrix (three applications): exits
+# nonzero when a deterministic counter (points, simcycles, handoffs,
+# refs) drifts from bench_baseline.json, or when allocations grow past
+# BENCH_TOLERANCE. CI passes a huge tolerance so only the deterministic
+# counters gate there (allocation counts shift across Go releases).
+BENCH_GATE_APPS ?= mp3d,ocean,fft
+BENCH_TOLERANCE ?= 0.05
+bench-gate: build
+	@mkdir -p $(BENCH_OUT)
+	$(GO) run ./cmd/perfbench -apps $(BENCH_GATE_APPS) -tolerance $(BENCH_TOLERANCE) \
+		-out $(BENCH_OUT) -baseline bench_baseline.json
+
+# Regenerate the checked-in baseline after a deliberate simulation
+# change (new app work, protocol fix) — never to paper over a gate
+# failure you cannot explain.
+bench-baseline: build
+	$(GO) run ./cmd/perfbench -apps $(BENCH_GATE_APPS) -stamp baseline -out . -quiet
+	mv BENCH_baseline.json bench_baseline.json
+	@echo "bench-baseline: regenerated bench_baseline.json"
 
 # Regenerate every table and figure at the scaled default sizes (~15 min).
 experiments: build

@@ -21,6 +21,16 @@
 //	                  flat report; render later with `tracetool profile`
 //	-top N            hot lines to rank in the profile (default 10)
 //	-regions          coarse per-region reference counters (text report)
+//
+// Host-side performance flags (see README "Simulator performance"):
+//
+//	-cpuprofile f     write a pprof CPU profile of the simulator process
+//	                  (inspect with `go tool pprof f`)
+//	-memprofile f     write a pprof heap profile after the run
+//
+// With -json the manifest also carries a `host` block (Go version,
+// GOMAXPROCS, wall duration, peak heap) from the attached performance
+// monitor; it describes the host, never the simulated machine.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
 	"clustersim/internal/fault"
+	"clustersim/internal/perf"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
@@ -65,6 +76,9 @@ func main() {
 		progress = flag.Bool("progress", false, "stream sampling progress to stderr")
 		profOut  = flag.String("profile", "", "write a sharing-profile JSON file and print the flat report")
 		topLines = flag.Int("top", 10, "hot cache lines to rank in the sharing profile")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 
 		faultSeed    = flag.Int64("fault-seed", 1, "fault plan seed (with any -fault-* probability set)")
 		faultNack    = flag.Int("fault-nack", 0, "directory-busy NACK probability per 1000 requests")
@@ -143,13 +157,33 @@ func main() {
 		prof = profile.New()
 		cfg.Profile = prof
 	}
+	// The manifest's host block comes from the performance monitor; it
+	// observes through the engine's token discipline and never perturbs
+	// the simulation (pinned by TestMonitorDeterminism).
+	var mon *perf.Monitor
+	if *jsonOut {
+		mon = perf.New()
+		cfg.Perf = mon
+	}
 
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
+	if *cpuprofile != "" {
+		stop, err := perf.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	res, err := w.Run(cfg, sz)
 	if err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		if err := perf.WriteHeapProfile(*memprofile); err != nil {
+			fatal(err)
+		}
 	}
 
 	var profReport *profile.Report
@@ -181,6 +215,9 @@ func main() {
 			Result:    res,
 			Memory:    res.MemoryReport(),
 			Telemetry: col.SelfReport(),
+		}
+		if mon != nil {
+			m.Host = mon.Report().Host
 		}
 		if profReport != nil {
 			m.Profile = profReport.Summary()

@@ -17,6 +17,14 @@
 // run resumes where it left off; SIGINT/SIGTERM stop the suite cleanly
 // between points (exit code 3); -point-timeout aborts a wedged point
 // (exit code 4); -fault-* flags inject the deterministic fault plan.
+//
+// Exit codes (also in README "Exit codes" and `experiments -h`):
+//
+//	0  every requested experiment completed
+//	1  at least one point or experiment failed; the rest ran
+//	2  bad flags or configuration
+//	3  SIGINT/SIGTERM (or -stop-after) stopped the suite between points
+//	4  -point-timeout aborted a hung point
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/experiments"
 	"clustersim/internal/fault"
+	"clustersim/internal/perf"
 )
 
 func main() {
@@ -49,6 +58,9 @@ func realMain() int {
 		profTop  = flag.Int("top", 10, "hot cache lines to rank in each sharing profile")
 		jsonOut  = flag.String("json", "", "append one JSON run manifest per line (JSONL) to this file")
 
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the suite to this file")
+
 		stateDir = flag.String("state", "", "journal each finished point into this directory and resume from it")
 		timeout  = flag.Duration("point-timeout", 0, "wall-clock watchdog per simulation point (0 = off); a hung point is recorded as failed and the process exits 4")
 		retry    = flag.Bool("retry-failed", false, "re-run points the journal records as failed")
@@ -59,14 +71,33 @@ func realMain() int {
 		faultAck     = flag.Int("fault-ack", 0, "delayed invalidation-ack probability per 1000 acks")
 		faultPerturb = flag.Int("fault-perturb", 0, "remote-hop jitter probability per 1000 fetches")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr, usageText())
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|ext-scaling|ext-faults|all>...")
-		flag.PrintDefaults()
+		flag.Usage()
 		return experiments.ExitUsage
 	}
 	if *sample < 0 {
 		return usageError(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
+	}
+	if *cpuprofile != "" {
+		stopProf, err := perf.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return usageError(err)
+		}
+		defer stopProf()
+	}
+	if *memprofile != "" {
+		// Deferred so the snapshot covers the whole suite; runs before the
+		// CPU-profile stop above unwinds.
+		defer func() {
+			if err := perf.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 	opt := experiments.DefaultOptions()
 	opt.Procs = *procs
@@ -204,4 +235,21 @@ func run(s *experiments.Suite, name string) error {
 func usageError(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	return experiments.ExitUsage
+}
+
+// usageText is the -h / no-argument usage header. It documents every
+// exit code the process can return, so scripts and CI need not read
+// the source (pinned by TestUsageMentionsExitCodes).
+func usageText() string {
+	return `usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|ext-scaling|ext-faults|all>...
+
+exit codes:
+  0  every requested experiment completed
+  1  at least one point or experiment failed; the rest ran
+  2  bad flags or configuration
+  3  SIGINT/SIGTERM (or -stop-after) stopped the suite between points
+  4  -point-timeout aborted a hung point
+
+flags:
+`
 }

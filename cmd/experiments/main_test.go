@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"clustersim/internal/experiments"
+)
+
+// TestUsageMentionsExitCodes: every exit code the process can return
+// is documented in the -h / no-argument usage text, so scripts and CI
+// can rely on the contract without reading the source.
+func TestUsageMentionsExitCodes(t *testing.T) {
+	usage := usageText()
+	codes := []struct {
+		code   int
+		phrase string
+	}{
+		{experiments.ExitOK, "every requested experiment completed"},
+		{experiments.ExitFailures, "failed"},
+		{experiments.ExitUsage, "bad flags"},
+		{experiments.ExitInterrupted, "SIGINT"},
+		{experiments.ExitWatchdog, "-point-timeout"},
+	}
+	for i, c := range codes {
+		if c.code != i {
+			t.Errorf("exit code %d listed out of order (got %d)", i, c.code)
+		}
+	}
+	for _, c := range codes {
+		code, phrase := c.code, c.phrase
+		line := fmt.Sprintf("%d  ", code)
+		if !strings.Contains(usage, line) {
+			t.Errorf("usage does not list exit code %d:\n%s", code, usage)
+		}
+		if !strings.Contains(usage, phrase) {
+			t.Errorf("usage does not explain exit code %d (%q):\n%s", code, phrase, usage)
+		}
+	}
+	if !strings.Contains(usage, "usage: experiments") {
+		t.Errorf("usage missing synopsis:\n%s", usage)
+	}
+}

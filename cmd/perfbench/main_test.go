@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersim/internal/bench"
+)
+
+// runMain wraps realMain with buffered output streams.
+func runMain(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = realMain(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runMain("-list")
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d", code, exitOK)
+	}
+	for _, want := range []string{"fig2/fft", "fig2/mp3d", "finite/volrend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+	code, out, _ = runMain("-list", "-apps", "ocean")
+	if code != exitOK {
+		t.Fatalf("filtered list: exit %d, want %d", code, exitOK)
+	}
+	if !strings.Contains(out, "fig2/ocean") || strings.Contains(out, "fig2/fft") {
+		t.Errorf("filtered list wrong:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-size", "galactic"},
+		{"stray-positional"},
+		{"-apps", "no-such-app"},
+		{"-baseline", "does-not-exist.json", "-apps", "fft", "-procs", "8", "-quiet", "-out", t.TempDir()},
+	}
+	for _, args := range cases {
+		if code, _, _ := runMain(args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+// TestRunAndGate is the end-to-end acceptance test: a run writes a
+// valid BENCH json, a rerun gated against that report passes, and a
+// perturbed-simcycles baseline makes the gate exit nonzero.
+func TestRunAndGate(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runMain("-apps", "fft", "-procs", "8", "-stamp", "base", "-out", dir, "-quiet")
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitOK, errOut)
+	}
+	if !strings.Contains(out, "fig2/fft") {
+		t.Errorf("table missing benchmark:\n%s", out)
+	}
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	base := readBench(t, basePath)
+	if base.Procs != 8 || base.Size != "test" || len(base.Benchmarks) != 1 {
+		t.Fatalf("bad report: %+v", base)
+	}
+	if base.Host.GoVersion == "" || base.Host.WallNS <= 0 {
+		t.Errorf("host block unfilled: %+v", base.Host)
+	}
+
+	// Identical matrix against the true baseline: clean gate.
+	code, out, errOut = runMain("-apps", "fft", "-procs", "8", "-stamp", "cur", "-out", dir,
+		"-quiet", "-baseline", basePath)
+	if code != exitOK {
+		t.Fatalf("true baseline: exit %d, want %d\nstdout: %s\nstderr: %s", code, exitOK, out, errOut)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("clean gate missing verdict:\n%s", out)
+	}
+
+	// Perturbed simcycles in the baseline: gate trips.
+	base.Benchmarks[0].SimCycles += 3
+	writeBench(t, basePath, base)
+	code, out, _ = runMain("-apps", "fft", "-procs", "8", "-stamp", "cur2", "-out", dir,
+		"-quiet", "-baseline", basePath)
+	if code != exitRegression {
+		t.Fatalf("perturbed baseline: exit %d, want %d\nstdout: %s", code, exitRegression, out)
+	}
+	if !strings.Contains(out, "simCycles") {
+		t.Errorf("diff does not name the drifted counter:\n%s", out)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errOut := runMain("-apps", "fft", "-procs", "8", "-stamp", "p", "-out", dir,
+		"-quiet", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, exitOK, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func readBench(t *testing.T, path string) *bench.Report {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func writeBench(t *testing.T, path string, r *bench.Report) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bench.WriteReport(f, r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,12 @@
 //
 //	tracetool profile out.json
 //	tracetool profile -top 20 before.json after.json
+//
+// Render a benchmark report (the BENCH_<stamp>.json written by
+// perfbench), or the regression diff between two (cur against base):
+//
+//	tracetool bench BENCH_a.json
+//	tracetool bench BENCH_a.json BENCH_b.json
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
+	"clustersim/internal/bench"
 	"clustersim/internal/core"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
@@ -66,13 +73,66 @@ func run(args []string, out io.Writer) error {
 		return telemetrySummary(args[1:], out)
 	case "profile":
 		return profileCmd(args[1:], out)
+	case "bench":
+		return benchCmd(args[1:], out)
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile [flags]")
+	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|bench [flags]")
+}
+
+// benchCmd renders one perfbench report as a table, or the regression
+// diff of two (current against baseline):
+//
+//	tracetool bench [-tolerance 0.05] <BENCH.json> [cur.json]
+func benchCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	tol := fs.Float64("tolerance", 0.05, "accepted fractional growth of allocations when diffing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch fs.NArg() {
+	case 1:
+		r, err := readBench(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		bench.WriteTable(out, r)
+		return nil
+	case 2:
+		base, err := readBench(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cur, err := readBench(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		deltas, regressions := bench.Compare(base, cur, bench.Tolerance{Allocs: *tol})
+		bench.WriteDiff(out, base, cur, deltas, regressions)
+		if regressions > 0 {
+			return fmt.Errorf("bench: %d regression(s)", regressions)
+		}
+		return nil
+	default:
+		return fmt.Errorf("bench: want one BENCH.json (render) or two (diff base cur), got %d args", fs.NArg())
+	}
+}
+
+func readBench(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }
 
 // profileCmd renders one sharing profile as the flat table, or diffs

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"clustersim/internal/bench"
 	"clustersim/internal/profile"
 )
 
@@ -33,6 +34,10 @@ func TestBadInputsError(t *testing.T) {
 		{"profile", garbage, garbage, garbage}, // too many
 		{"record", "-app", "no-such-app"},
 		{"record", "-size", "enormous"},
+		{"bench"},
+		{"bench", missing},
+		{"bench", garbage},
+		{"bench", garbage, garbage, garbage}, // too many
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -110,5 +115,65 @@ func TestProfileRenderAndDiff(t *testing.T) {
 	}
 	if !strings.Contains(diff.String(), "Δmisses +4") {
 		t.Errorf("diff output missing the +4 cold-miss delta:\n%s", diff.String())
+	}
+}
+
+func writeTestBench(t *testing.T, path string, simCycles int64) {
+	t.Helper()
+	r := &bench.Report{
+		Schema: bench.SchemaV1,
+		Stamp:  "t",
+		Procs:  8,
+		Size:   "test",
+		Benchmarks: []bench.Measurement{
+			{Name: "fig2/fft", Points: 2, WallNS: 1e6, SimCycles: simCycles,
+				Handoffs: 100, Refs: 2000, Allocs: 5000, AllocBytes: 1 << 20},
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bench.WriteReport(f, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// `tracetool bench one.json` renders the table; with two inputs it
+// renders the regression diff and errs iff a deterministic counter
+// drifted.
+func TestBenchRenderAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeTestBench(t, a, 40000)
+	writeTestBench(t, b, 40007)
+
+	var table bytes.Buffer
+	if err := run([]string{"bench", a}, &table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2/fft", "simcycles", "40000"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+
+	var clean bytes.Buffer
+	if err := run([]string{"bench", a, a}, &clean); err != nil {
+		t.Fatalf("self-diff errored: %v", err)
+	}
+	if !strings.Contains(clean.String(), "no regressions") {
+		t.Errorf("self-diff missing verdict:\n%s", clean.String())
+	}
+
+	var diff bytes.Buffer
+	err := run([]string{"bench", a, b}, &diff)
+	if err == nil {
+		t.Fatal("drifted simcycles diff succeeded, want error")
+	}
+	if !strings.Contains(diff.String(), "simCycles") {
+		t.Errorf("diff does not name the drifted counter:\n%s", diff.String())
 	}
 }

@@ -1,0 +1,165 @@
+// Package bench is the machine-readable benchmark harness: it runs the
+// fixed simulation matrix of the repo's Go benchmarks (bench_test.go)
+// exactly once per point with the host performance monitor attached,
+// and reports per-benchmark wall time, simulated cycles, throughput,
+// allocations and phase attribution as a BENCH_<stamp>.json document.
+//
+// The report splits metrics into two classes. Deterministic counters —
+// simulated cycles, engine handoffs, memory references, point counts —
+// are a function of the simulation alone and must reproduce exactly;
+// Compare treats any drift as a regression, which is what the CI gate
+// runs against bench_baseline.json. Wall-clock metrics (ns, cycles/sec)
+// vary with the host and are reported for trajectory, never gated.
+// Allocations sit in between: near-deterministic, gated with a relative
+// tolerance.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+	"clustersim/internal/experiments"
+	"clustersim/internal/perf"
+)
+
+// Spec is one named benchmark: a fixed sweep of simulation points
+// measured as a unit, mirroring one sub-benchmark of bench_test.go.
+type Spec struct {
+	Name     string
+	App      string
+	Clusters []int
+	CachesKB []int
+}
+
+// Points returns how many simulation runs the spec covers.
+func (s Spec) Points() int { return len(s.Clusters) * len(s.CachesKB) }
+
+// finiteApps are the finite-capacity figure applications (Figures 4-8),
+// matching BenchmarkFig4..BenchmarkFig8.
+var finiteApps = []string{"raytrace", "mp3d", "barnes", "fmm", "volrend"}
+
+// DefaultSpecs is the harness's fixed matrix, mirroring bench_test.go:
+// every Figure 2 panel (infinite caches across cluster sizes) and every
+// finite-capacity figure (cache sizes × cluster sizes).
+func DefaultSpecs() []Spec {
+	var specs []Spec
+	for _, app := range experiments.Fig2Apps {
+		specs = append(specs, Spec{
+			Name:     "fig2/" + app,
+			App:      app,
+			Clusters: experiments.ClusterSizes,
+			CachesKB: []int{0},
+		})
+	}
+	for _, app := range finiteApps {
+		specs = append(specs, Spec{
+			Name:     "finite/" + app,
+			App:      app,
+			Clusters: experiments.ClusterSizes,
+			CachesKB: experiments.FiniteCachesKB,
+		})
+	}
+	return specs
+}
+
+// FilterApps keeps only the specs whose application is in keep (nil
+// keeps everything). Order is preserved.
+func FilterApps(specs []Spec, keep []string) []Spec {
+	if len(keep) == 0 {
+		return specs
+	}
+	want := make(map[string]bool, len(keep))
+	for _, a := range keep {
+		want[a] = true
+	}
+	var out []Spec
+	for _, s := range specs {
+		if want[s.App] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Options configures one harness run.
+type Options struct {
+	// Procs is the simulated machine size (the repo's Go benchmarks use
+	// 16).
+	Procs int
+	// Size selects the problem scale (the Go benchmarks use
+	// apps.SizeTest).
+	Size apps.Size
+	// Progress, when non-nil, receives a one-line report per finished
+	// benchmark (typically os.Stderr).
+	Progress io.Writer
+}
+
+// Measurement is one benchmark's aggregate over its simulation points.
+// SimCycles, Handoffs, Refs and Points are deterministic; WallNS,
+// CyclesPerSec, EventsPerSec and Phases are host-dependent; Allocs and
+// AllocBytes are near-deterministic.
+type Measurement struct {
+	Name         string              `json:"name"`
+	Points       int                 `json:"points"`
+	WallNS       int64               `json:"wallNs"`
+	SimCycles    int64               `json:"simCycles"`
+	CyclesPerSec float64             `json:"cyclesPerSec"`
+	Handoffs     uint64              `json:"handoffs"`
+	Refs         uint64              `json:"refs"`
+	EventsPerSec float64             `json:"eventsPerSec"`
+	Allocs       uint64              `json:"allocs"`
+	AllocBytes   uint64              `json:"allocBytes"`
+	Phases       perf.PhaseBreakdown `json:"phases"`
+}
+
+// Run executes every spec once per point and aggregates the per-point
+// monitor reports. Points within a spec run back to back, each on a
+// fresh machine with its own monitor, exactly as the Go benchmarks do.
+func Run(specs []Spec, opt Options) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(specs))
+	for _, spec := range specs {
+		w, err := registry.Lookup(spec.App)
+		if err != nil {
+			return nil, err
+		}
+		m := Measurement{Name: spec.Name}
+		for _, kb := range spec.CachesKB {
+			for _, cs := range spec.Clusters {
+				cfg := core.DefaultConfig()
+				cfg.Procs = opt.Procs
+				cfg.ClusterSize = cs
+				cfg.CacheKBPerProc = kb
+				mon := perf.New()
+				cfg.Perf = mon
+				res, err := w.Run(cfg, opt.Size)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s (cluster %d, cache %d KB): %w", spec.Name, cs, kb, err)
+				}
+				rep := mon.Report()
+				m.Points++
+				m.WallNS += rep.WallNS
+				m.SimCycles += res.ExecTime
+				m.Handoffs += rep.Handoffs
+				m.Refs += rep.Refs
+				m.Allocs += rep.Allocs
+				m.AllocBytes += rep.AllocBytes
+				m.Phases.AppNS += rep.Phases.AppNS
+				m.Phases.SchedNS += rep.Phases.SchedNS
+				m.Phases.CoherenceNS += rep.Phases.CoherenceNS
+			}
+		}
+		if sec := float64(m.WallNS) / 1e9; sec > 0 {
+			m.CyclesPerSec = float64(m.SimCycles) / sec
+			m.EventsPerSec = float64(m.Handoffs+m.Refs) / sec
+		}
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "bench: %-18s %2d points  %8.1f ms  %12d simcycles  %.3g cycles/s\n",
+				m.Name, m.Points, float64(m.WallNS)/1e6, m.SimCycles, m.CyclesPerSec)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

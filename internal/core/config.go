@@ -25,6 +25,7 @@ import (
 	"clustersim/internal/coherence"
 	"clustersim/internal/fault"
 	"clustersim/internal/memory"
+	"clustersim/internal/perf"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
@@ -145,6 +146,15 @@ type Config struct {
 	// profile package). Purely observational, so it is excluded from the
 	// JSON manifest and the config hash.
 	Profile *profile.Collector `json:"-"`
+
+	// Perf, when non-nil, attaches the host-side performance monitor:
+	// wall-clock time attributed per phase (application compute, engine
+	// scheduling, coherence protocol), simulated-cycles-per-second
+	// throughput and Go runtime health (heap peak, GC pauses; see the
+	// perf package). It observes only the host, never simulated state,
+	// so it is excluded from the JSON manifest and the config hash and
+	// a monitored run's Result is byte-identical to an unmonitored one.
+	Perf *perf.Monitor `json:"-"`
 
 	// SampleEvery, when positive and Telemetry is attached, snapshots
 	// per-cluster counter deltas every SampleEvery simulated cycles

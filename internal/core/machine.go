@@ -7,6 +7,7 @@ import (
 	"clustersim/internal/engine"
 	"clustersim/internal/fault"
 	"clustersim/internal/memory"
+	"clustersim/internal/perf"
 	"clustersim/internal/profile"
 	"clustersim/internal/sanitizer"
 	"clustersim/internal/stats"
@@ -50,6 +51,10 @@ type Machine struct {
 	// (Config.Sanitize). The hot paths gate on the nil check alone, so a
 	// disabled sanitizer costs nothing.
 	san *sanitizer.Checker
+
+	// mon, when set, attributes host wall-clock time to execution
+	// phases (Config.Perf). Hot paths gate on the nil check alone.
+	mon *perf.Monitor
 }
 
 // NewMachine builds a machine from cfg.
@@ -133,6 +138,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.prof = cfg.Profile
 		m.prof.Start(as, cfg.NumClusters(), cfg.LineBytes)
 		sys.SetObserver(m.prof)
+	}
+	if cfg.Perf != nil {
+		m.mon = cfg.Perf
+		m.sched.SetTimer(m.mon)
 	}
 	return m, nil
 }
@@ -259,18 +268,22 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 		return nil, fmt.Errorf("core: Machine.Run called twice; build a new Machine per run")
 	}
 	m.ran = true
+	m.mon.Start() // nil-safe; opens the run's wall clock in the sched phase
 	err := m.sched.Run(func(pe *engine.PE) {
 		kernel(m.procs[pe.ID()])
 	})
 	if err != nil {
 		return nil, err
 	}
+	var last Clock // final virtual time: the slowest processor's clock
+	for _, p := range m.procs {
+		if t := p.pe.Now(); t > last {
+			last = t
+		}
+	}
+	m.mon.Stop(last)
 	if m.tel != nil {
-		var last Clock
 		for _, p := range m.procs {
-			if t := p.pe.Now(); t > last {
-				last = t
-			}
 			m.tel.ClosePE(p.ID())
 		}
 		if m.cfg.SampleEvery > 0 {
@@ -278,12 +291,6 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 		}
 	}
 	if m.san != nil {
-		var last Clock
-		for _, p := range m.procs {
-			if t := p.pe.Now(); t > last {
-				last = t
-			}
-		}
 		m.san.Final(last) // end-of-run full audit
 	}
 	res := &Result{

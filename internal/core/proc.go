@@ -51,7 +51,13 @@ func (p *Proc) Read(addr Addr) {
 	p.pe.Yield()
 	p.m.traceEvent(p.ID(), EvRead, addr)
 	issue := p.pe.Now()
+	if p.m.mon != nil {
+		p.m.mon.EnterCoherence()
+	}
 	acc := p.m.sys.Read(p.ID(), p.cluster, addr, issue)
+	if p.m.mon != nil {
+		p.m.mon.EnterApp()
+	}
 	if p.m.san != nil {
 		p.m.san.OnAccess(p.ID(), p.cluster, false, addr, issue, acc)
 	}
@@ -103,7 +109,13 @@ func (p *Proc) Write(addr Addr) {
 	p.pe.Yield()
 	p.m.traceEvent(p.ID(), EvWrite, addr)
 	issue := p.pe.Now()
+	if p.m.mon != nil {
+		p.m.mon.EnterCoherence()
+	}
 	acc := p.m.sys.Write(p.ID(), p.cluster, addr, issue)
+	if p.m.mon != nil {
+		p.m.mon.EnterApp()
+	}
 	if p.m.san != nil {
 		p.m.san.OnAccess(p.ID(), p.cluster, true, addr, issue, acc)
 	}

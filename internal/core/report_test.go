@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"clustersim/internal/coherence"
+	"clustersim/internal/perf"
 	"clustersim/internal/stats"
 	"clustersim/internal/telemetry"
 )
@@ -170,5 +171,61 @@ func TestManifestWithRealResult(t *testing.T) {
 	}
 	if doc.ConfigHash != h1 {
 		t.Errorf("manifest hash %s != direct hash %s", doc.ConfigHash, h1)
+	}
+}
+
+// TestManifestHostBlock: the manifest's host block round-trips, and two
+// manifests of the same run that differ only in their host blocks are
+// identical once the host block is stripped — the normalization scripts
+// (and the reproducibility tests) rely on.
+func TestManifestHostBlock(t *testing.T) {
+	res := fixedResult()
+	write := func(h perf.Host) []byte {
+		var b bytes.Buffer
+		if err := telemetry.WriteManifest(&b, telemetry.Manifest{
+			App: "golden", Size: "test", Config: res.Config, Result: res, Host: h,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	hostA := perf.Host{GoVersion: "go1.0", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 8, NumCPU: 8, WallNS: 1e9, HeapPeakBytes: 1 << 20}
+	hostB := hostA
+	hostB.WallNS = 7e9 // a slower host, same simulation
+	hostB.GOMAXPROCS = 2
+
+	first, second := write(hostA), write(hostB)
+	if bytes.Equal(first, second) {
+		t.Fatal("distinct host blocks encoded identically")
+	}
+	strip := func(raw []byte) *telemetry.ManifestDoc {
+		doc, err := telemetry.ReadManifest(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h perf.Host
+		if err := json.Unmarshal(doc.Host, &h); err != nil {
+			t.Fatalf("host block does not parse: %v", err)
+		}
+		doc.Host = nil // normalization: the host block never identifies a run
+		return doc
+	}
+	a, b := strip(first), strip(second)
+	if a.ConfigHash != b.ConfigHash || !bytes.Equal(a.Config, b.Config) || !bytes.Equal(a.Result, b.Result) {
+		t.Error("manifests differ beyond the host block")
+	}
+
+	// Round-trip fidelity of the block itself.
+	doc, err := telemetry.ReadManifest(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back perf.Host
+	if err := json.Unmarshal(doc.Host, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != hostA {
+		t.Errorf("host round-trip:\n got %+v\nwant %+v", back, hostA)
 	}
 }

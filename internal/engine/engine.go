@@ -50,6 +50,19 @@ type Probe interface {
 	Handoff(from, to int, fromTime, toTime Clock, readyDepth int)
 }
 
+// Timer observes where the host's wall-clock time goes — the engine
+// half of the perf monitor. EnterSched fires when the running goroutine
+// begins token-handoff machinery (heap maintenance, the channel send
+// and the goroutine switch it triggers); EnterApp fires when a PE
+// resumes application execution after receiving the token. Exactly one
+// goroutine executes at a time, so calls arrive strictly ordered and
+// implementations need no locking. A nil timer costs one predictable
+// branch per handoff.
+type Timer interface {
+	EnterSched()
+	EnterApp()
+}
+
 // abortPanic unwinds a processor goroutine during simulation shutdown.
 type abortPanic struct{}
 
@@ -96,6 +109,9 @@ func (pe *PE) SetTime(at Clock) {
 func (pe *PE) Yield() {
 	s := pe.sched
 	for len(s.heap) > 0 && s.heap[0].time+s.quantum < pe.time {
+		if s.timer != nil {
+			s.timer.EnterSched()
+		}
 		pe.state = stateReady
 		s.heapPush(pe)
 		next := s.heapPopMin()
@@ -137,11 +153,16 @@ func (pe *PE) Fail(err error) {
 	pe.sched.fail(err)
 }
 
-// wait parks until the token arrives, unwinding on abort.
+// wait parks until the token arrives, unwinding on abort. Receiving the
+// token resumes application execution, which is where the handoff span
+// opened by EnterSched ends.
 func (pe *PE) wait() {
 	msg := <-pe.token
 	if msg.abort {
 		panic(abortPanic{})
+	}
+	if pe.sched.timer != nil {
+		pe.sched.timer.EnterApp()
 	}
 }
 
@@ -152,6 +173,7 @@ type Scheduler struct {
 	quantum   Clock
 	nFinished int
 	probe     Probe
+	timer     Timer
 	label     string // workload name, for panic diagnostics
 	err       error
 	mu        sync.Mutex // guards err on the kernel-panic path only
@@ -184,6 +206,10 @@ func (s *Scheduler) PEs() []*PE { return s.pes }
 // SetProbe attaches a telemetry probe; call before Run. A nil probe
 // (the default) disables observation entirely.
 func (s *Scheduler) SetProbe(p Probe) { s.probe = p }
+
+// SetTimer attaches a wall-clock phase timer; call before Run. A nil
+// timer (the default) disables host-time attribution entirely.
+func (s *Scheduler) SetTimer(t Timer) { s.timer = t }
 
 // SetLabel names the workload for panic diagnostics; call before Run.
 // An empty label (the default) reports as "unnamed".
@@ -227,6 +253,9 @@ func (s *Scheduler) Run(kernel func(*PE)) error {
 			s.finish(pe)
 		}(pe)
 	}
+	if s.timer != nil {
+		s.timer.EnterSched() // initial dispatch is scheduling work
+	}
 	first := s.heapPopMin()
 	first.state = stateRunning
 	if s.probe != nil {
@@ -258,6 +287,9 @@ func (s *Scheduler) finish(pe *PE) {
 // deadlocked. The caller's goroutine keeps running (it is finishing or
 // about to park in wait).
 func (s *Scheduler) dispatchNext(from *PE) {
+	if s.timer != nil {
+		s.timer.EnterSched()
+	}
 	if len(s.heap) > 0 {
 		next := s.heapPopMin()
 		next.state = stateRunning

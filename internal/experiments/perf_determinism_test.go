@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/perf"
+	"clustersim/internal/telemetry"
+)
+
+// TestMonitorDeterminism attaches the host performance monitor to every
+// registered application and requires the monitor to be read-only: the
+// Result JSON and config hash of a monitored run stay byte-identical to
+// an unmonitored one. It also sanity-checks the report itself — phase
+// spans tile the wall clock, deterministic counters are populated, and
+// they repeat exactly across identical runs.
+func TestMonitorDeterminism(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(withMonitor bool) (blob []byte, hash string, rep *perf.Report) {
+				t.Helper()
+				cfg := detConfig()
+				var mon *perf.Monitor
+				if withMonitor {
+					mon = perf.New()
+					cfg.Perf = mon
+				}
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err = json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hash, err = telemetry.HashConfig(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, hash, mon.Report()
+			}
+			plain, hash1, _ := run(false)
+			monitored, hash2, rep := run(true)
+			if hash2 != hash1 {
+				t.Errorf("Perf changed the config hash: %s vs %s", hash2, hash1)
+			}
+			if !bytes.Equal(plain, monitored) {
+				t.Errorf("monitor perturbed the run:\n plain:     %s\n monitored: %s",
+					diffHint(plain, monitored), diffHint(monitored, plain))
+			}
+			if rep.WallNS <= 0 {
+				t.Errorf("wall = %d ns, want positive", rep.WallNS)
+			}
+			if sum := rep.Phases.AppNS + rep.Phases.SchedNS + rep.Phases.CoherenceNS; sum != rep.WallNS {
+				t.Errorf("phase spans sum to %d ns, wall is %d ns", sum, rep.WallNS)
+			}
+			if rep.Handoffs == 0 || rep.Refs == 0 {
+				t.Errorf("deterministic counters empty: handoffs=%d refs=%d", rep.Handoffs, rep.Refs)
+			}
+			if rep.SimCycles <= 0 || rep.CyclesPerSec <= 0 {
+				t.Errorf("throughput empty: %d cycles, %f cycles/s", rep.SimCycles, rep.CyclesPerSec)
+			}
+			// Handoffs and Refs are a function of the simulation alone, so
+			// a second monitored run must reproduce them exactly.
+			_, _, rep2 := run(true)
+			if rep2.Handoffs != rep.Handoffs || rep2.Refs != rep.Refs || rep2.SimCycles != rep.SimCycles {
+				t.Errorf("deterministic counters drifted: handoffs %d vs %d, refs %d vs %d, simcycles %d vs %d",
+					rep.Handoffs, rep2.Handoffs, rep.Refs, rep2.Refs, rep.SimCycles, rep2.SimCycles)
+			}
+		})
+	}
+}

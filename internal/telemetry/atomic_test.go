@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempEntries returns the leftover *.tmp* names in dir — AtomicFile
+// must never leak its temporary on any failure path.
+func tempEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+func TestAtomicFileWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Errorf("content = %q", got)
+	}
+	if tmps := tempEntries(t, dir); len(tmps) != 0 {
+		t.Errorf("leftover temporaries: %v", tmps)
+	}
+}
+
+// An unwritable directory fails up front: no temporary can be created,
+// and the error surfaces instead of a torn or missing artifact.
+func TestAtomicFileUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	err := AtomicFile(filepath.Join(dir, "out.json"), func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into unwritable directory succeeded")
+	}
+}
+
+// A failing write callback aborts the whole operation: the error comes
+// back verbatim, the destination is untouched, and the temporary is
+// removed.
+func TestAtomicFileWriteError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := AtomicFile(path, func(w io.Writer) error {
+		fmt.Fprint(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous" {
+		t.Errorf("failed write clobbered the destination: %q", got)
+	}
+	if tmps := tempEntries(t, dir); len(tmps) != 0 {
+		t.Errorf("leftover temporaries after write error: %v", tmps)
+	}
+}
+
+// A failing rename (target path is an existing directory) surfaces as
+// an error and still cleans up the temporary.
+func TestAtomicFileRenameError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.Mkdir(path, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	// A non-empty directory cannot be replaced by rename(2) on any
+	// platform.
+	if err := os.WriteFile(filepath.Join(path, "file"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := AtomicFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "contents")
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename onto a non-empty directory succeeded")
+	}
+	if tmps := tempEntries(t, dir); len(tmps) != 0 {
+		t.Errorf("leftover temporaries after rename error: %v", tmps)
+	}
+}
+
+// An exporter fed a collector with no recorded events still writes a
+// valid, summarizable document — observability tooling must not fall
+// over on trivial runs.
+func TestExportersEmptyStreams(t *testing.T) {
+	col := New()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, col, nil); err != nil {
+		t.Fatalf("empty trace export: %v", err)
+	}
+	sum, err := SummarizeChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("empty trace summary: %v", err)
+	}
+	// Metadata events (process naming) are fine; no PE tracks, slices,
+	// sync episodes or counter samples may appear.
+	if sum.PEs != 0 || sum.SyncWaits != 0 || sum.Counters != 0 || len(sum.ByKind) != 0 {
+		t.Errorf("empty trace not empty: %+v", sum)
+	}
+
+	rep := col.SelfReport()
+	if rep == nil {
+		t.Fatal("empty collector self-report is nil")
+	}
+	if rep.Handoffs != 0 || rep.Slices != 0 || rep.Samples != 0 || len(rep.Series) != 0 {
+		t.Errorf("empty self-report not empty: %+v", rep)
+	}
+	var nilCol *Collector
+	if nilCol.SelfReport() != nil {
+		t.Error("nil collector self-report is non-nil")
+	}
+}

@@ -25,6 +25,11 @@ type Manifest struct {
 	Memory     *MemoryReport `json:"memory,omitempty"`
 	Profile    any           `json:"profile,omitempty"`
 	Telemetry  *SelfReport   `json:"telemetry,omitempty"`
+	// Host is the host-side block (perf.Host in practice): Go version,
+	// GOOS/GOARCH, GOMAXPROCS, wall duration, peak heap. It describes the
+	// machine the simulator ran on, never the simulated machine — scripts
+	// diffing manifests for reproducibility must strip it first.
+	Host any `json:"host,omitempty"`
 }
 
 // MemoryReport is the manifest's address-space block: the total
@@ -150,6 +155,7 @@ type ManifestDoc struct {
 	Memory     *MemoryReport   `json:"memory"`
 	Profile    json.RawMessage `json:"profile"`
 	Telemetry  *SelfReport     `json:"telemetry"`
+	Host       json.RawMessage `json:"host"`
 }
 
 // ReadManifest parses one manifest document.
