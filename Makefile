@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sanitize-suite profile-suite fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
+.PHONY: all build vet lint simlint sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
 
 all: build lint test
 
@@ -73,6 +73,27 @@ profile-golden: build
 	$(GO) run ./cmd/tracetool profile $(PROFILE_OUT)/mp3d.profile.json \
 		> internal/profile/testdata/mp3d-c4-1k.flat.golden
 	@echo "profile-golden: regenerated internal/profile/testdata/mp3d-c4-1k.flat.golden"
+
+# Critical-path smoke test: run Ocean with -critpath, render the flat
+# report with tracetool, and diff it against the checked-in golden.
+# Like the profile golden, any drift is a real behaviour change
+# (update deliberately with `make critpath-golden`).
+CRITPATH_OUT ?= /tmp/clustersim-critpath
+CRITPATH_RUN = $(GO) run ./cmd/clustersim -app ocean -size test -procs 16 -cluster 4 -cache 1 \
+		-critpath $(CRITPATH_OUT)/ocean.critpath.json
+critpath-suite: build
+	@mkdir -p $(CRITPATH_OUT)
+	$(CRITPATH_RUN) > /dev/null
+	$(GO) run ./cmd/tracetool critpath $(CRITPATH_OUT)/ocean.critpath.json > $(CRITPATH_OUT)/ocean.flat
+	diff -u internal/critpath/testdata/ocean-c4-1k.flat.golden $(CRITPATH_OUT)/ocean.flat
+	@echo "critpath-suite: flat report matches golden"
+
+critpath-golden: build
+	@mkdir -p $(CRITPATH_OUT)
+	$(CRITPATH_RUN) > /dev/null
+	$(GO) run ./cmd/tracetool critpath $(CRITPATH_OUT)/ocean.critpath.json \
+		> internal/critpath/testdata/ocean-c4-1k.flat.golden
+	@echo "critpath-golden: regenerated internal/critpath/testdata/ocean-c4-1k.flat.golden"
 
 test:
 	$(GO) test ./...

@@ -21,6 +21,11 @@
 //	                  flat report; render later with `tracetool profile`
 //	-top N            hot lines to rank in the profile (default 10)
 //	-regions          coarse per-region reference counters (text report)
+//	-critpath o.json  write a critical-path analysis (barrier-delimited
+//	                  phases with per-PE breakdowns, barrier imbalance,
+//	                  lock contention, balanced-ideal speedup) and print
+//	                  the flat report; render later with
+//	                  `tracetool critpath`
 //
 // Host-side performance flags (see README "Simulator performance"):
 //
@@ -45,6 +50,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/critpath"
 	"clustersim/internal/fault"
 	"clustersim/internal/perf"
 	"clustersim/internal/profile"
@@ -76,6 +82,7 @@ func main() {
 		progress = flag.Bool("progress", false, "stream sampling progress to stderr")
 		profOut  = flag.String("profile", "", "write a sharing-profile JSON file and print the flat report")
 		topLines = flag.Int("top", 10, "hot cache lines to rank in the sharing profile")
+		critOut  = flag.String("critpath", "", "write a critical-path analysis JSON file and print the flat report")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
@@ -157,6 +164,11 @@ func main() {
 		prof = profile.New()
 		cfg.Profile = prof
 	}
+	var crit *critpath.Analyzer
+	if *critOut != "" {
+		crit = critpath.New()
+		cfg.Critpath = crit
+	}
 	// The manifest's host block comes from the performance monitor; it
 	// observes through the engine's token discipline and never perturbs
 	// the simulation (pinned by TestMonitorDeterminism).
@@ -200,6 +212,20 @@ func main() {
 			*profOut, *profOut)
 	}
 
+	var critReport *critpath.Report
+	if crit != nil {
+		critReport = crit.Report(0)
+		critReport.App, critReport.Size = *app, sz.String()
+		if h, err := telemetry.HashConfig(cfg); err == nil {
+			critReport.ConfigHash = h
+		}
+		if err := writeCritpath(*critOut, critReport); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "clustersim: wrote critical-path analysis to %s (render with `tracetool critpath %s`)\n",
+			*critOut, *critOut)
+	}
+
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, col, *app, sz.String(), cfg); err != nil {
 			fatal(err)
@@ -222,6 +248,9 @@ func main() {
 		if profReport != nil {
 			m.Profile = profReport.Summary()
 		}
+		if critReport != nil {
+			m.Critpath = critReport.Summary()
+		}
 		if err := telemetry.WriteManifest(os.Stdout, m); err != nil {
 			fatal(err)
 		}
@@ -238,6 +267,16 @@ func main() {
 		fmt.Println()
 		profile.WriteFlat(os.Stdout, profReport)
 	}
+	if critReport != nil {
+		fmt.Println()
+		critpath.WriteFlat(os.Stdout, critReport)
+	}
+}
+
+func writeCritpath(path string, r *critpath.Report) error {
+	return telemetry.AtomicFile(path, func(w io.Writer) error {
+		return critpath.WriteReport(w, r)
+	})
 }
 
 func writeProfile(path string, r *profile.Report) error {

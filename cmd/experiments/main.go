@@ -56,6 +56,7 @@ func realMain() int {
 		traceDir = flag.String("trace", "", "write one Chrome trace-event JSON per run into this directory")
 		profDir  = flag.String("profile", "", "write one sharing-profile JSON per run into this directory")
 		profTop  = flag.Int("top", 10, "hot cache lines to rank in each sharing profile")
+		critDir  = flag.String("critpath", "", "write one critical-path analysis JSON per run into this directory")
 		jsonOut  = flag.String("json", "", "append one JSON run manifest per line (JSONL) to this file")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
@@ -109,6 +110,7 @@ func realMain() int {
 	opt.TraceDir = *traceDir
 	opt.ProfileDir = *profDir
 	opt.ProfileTop = *profTop
+	opt.CritpathDir = *critDir
 	opt.PointTimeout = *timeout
 	opt.RetryFailed = *retry
 	opt.StopAfter = *stopN

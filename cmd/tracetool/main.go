@@ -26,6 +26,12 @@
 //	tracetool profile out.json
 //	tracetool profile -top 20 before.json after.json
 //
+// Render a critical-path analysis (the JSON written by clustersim
+// -critpath), or the per-phase delta between two (new minus old):
+//
+//	tracetool critpath out.json
+//	tracetool critpath before.json after.json
+//
 // Render a benchmark report (the BENCH_<stamp>.json written by
 // perfbench), or the regression diff between two (cur against base):
 //
@@ -45,6 +51,7 @@ import (
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/bench"
 	"clustersim/internal/core"
+	"clustersim/internal/critpath"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 	"clustersim/internal/trace"
@@ -73,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		return telemetrySummary(args[1:], out)
 	case "profile":
 		return profileCmd(args[1:], out)
+	case "critpath":
+		return critpathCmd(args[1:], out)
 	case "bench":
 		return benchCmd(args[1:], out)
 	default:
@@ -81,7 +90,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|bench [flags]")
+	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|critpath|bench [flags]")
 }
 
 // benchCmd renders one perfbench report as a table, or the regression
@@ -179,6 +188,52 @@ func readProfile(path string) (*profile.Report, error) {
 	}
 	defer f.Close()
 	r, err := profile.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// critpathCmd renders one critical-path analysis as the flat report, or
+// diffs two (new minus old):
+//
+//	tracetool critpath <critpath.json> [new.json]
+func critpathCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("critpath", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch fs.NArg() {
+	case 1:
+		r, err := readCritpath(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		critpath.WriteFlat(out, r)
+		return nil
+	case 2:
+		old, err := readCritpath(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cur, err := readCritpath(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		critpath.WriteDiff(out, old, cur)
+		return nil
+	default:
+		return fmt.Errorf("critpath: want one critpath.json (render) or two (diff old new), got %d args", fs.NArg())
+	}
+}
+
+func readCritpath(path string) (*critpath.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := critpath.ReadReport(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

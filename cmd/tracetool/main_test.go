@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"clustersim/internal/bench"
+	"clustersim/internal/critpath"
 	"clustersim/internal/profile"
+	"clustersim/internal/stats"
 )
 
 // Every subcommand must report missing or unparseable inputs as errors
@@ -38,6 +40,10 @@ func TestBadInputsError(t *testing.T) {
 		{"bench", missing},
 		{"bench", garbage},
 		{"bench", garbage, garbage, garbage}, // too many
+		{"critpath", missing},
+		{"critpath", garbage},
+		{"critpath"},                            // no input at all
+		{"critpath", garbage, garbage, garbage}, // too many
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -115,6 +121,72 @@ func TestProfileRenderAndDiff(t *testing.T) {
 	}
 	if !strings.Contains(diff.String(), "Δmisses +4") {
 		t.Errorf("diff output missing the +4 cold-miss delta:\n%s", diff.String())
+	}
+}
+
+func writeTestCritpath(t *testing.T, path string, execTime int64) {
+	t.Helper()
+	r := &critpath.Report{
+		Schema:        critpath.SchemaV1,
+		App:           "ocean",
+		Size:          "test",
+		Procs:         8,
+		Clusters:      4,
+		ExecTime:      execTime,
+		IdealExecTime: execTime - 100,
+		Phases: []critpath.PhaseReport{
+			{Index: 0, Name: "ocean.main#1", SyncID: 0, Start: 0, End: execTime,
+				LastArriver: 3, ImbalanceCycles: 70,
+				Aggregate: stats.Breakdown{CPU: 6 * execTime, SyncWait: 2 * execTime},
+				PerPE:     make([]stats.Breakdown, 8)},
+		},
+		Barriers: []critpath.BarrierReport{
+			{Name: "ocean.main", ID: 0, Participants: 8, Episodes: 1, WaitCycles: 70, MaxWait: 40,
+				LastArrivers: []critpath.PECount{{PE: 3, Count: 1}}},
+		},
+		Locks: []critpath.LockReport{
+			{Name: "errsum", ID: 1, Acquisitions: 8, Contended: 7, HoldCycles: 700,
+				WaitCycles: 2000, MaxWait: 460, MaxQueueDepth: 6},
+		},
+		LocksTotal:   1,
+		CriticalPath: []critpath.PathLink{{Phase: 0, PE: 3, SpanCycles: execTime}},
+		LastArrivers: []critpath.PECount{{PE: 3, Count: 1}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := critpath.WriteReport(f, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// `tracetool critpath one.json` renders the flat report; with two
+// inputs it renders the per-phase delta.
+func TestCritpathRenderAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeTestCritpath(t, a, 5000)
+	writeTestCritpath(t, b, 5400)
+
+	var flat bytes.Buffer
+	if err := run([]string{"critpath", a}, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical path: ocean", "ocean.main#1", "errsum", "barriers"} {
+		if !strings.Contains(flat.String(), want) {
+			t.Errorf("flat output missing %q:\n%s", want, flat.String())
+		}
+	}
+
+	var diff bytes.Buffer
+	if err := run([]string{"critpath", a, b}, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff.String(), "Δexec +400") {
+		t.Errorf("diff output missing the +400 exec delta:\n%s", diff.String())
 	}
 }
 

@@ -488,7 +488,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	for i := range locks {
 		locks[i] = m.NewLock(fmt.Sprintf("cell%d", i))
 	}
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("barnes.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		lo, hi := apps.Chunk(n, id, p.NumProcs())

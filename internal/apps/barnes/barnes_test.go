@@ -1,6 +1,7 @@
 package barnes
 
 import (
+	"fmt"
 	"testing"
 
 	"clustersim/internal/apps"
@@ -150,7 +151,7 @@ func buildTreeForAudit(t *testing.T, procs int, bodies int) *tree {
 	initPlummer(tr, n)
 	locks := make([]*core.Lock, lockPool)
 	for i := range locks {
-		locks[i] = m.NewLock("cell")
+		locks[i] = m.NewLock(fmt.Sprintf("cell%d", i))
 	}
 	bar := m.NewBarrier()
 	_, err = m.Run(func(p *core.Proc) {

@@ -79,7 +79,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	roots := apps.NewC128(m, r, "roots") // shared read-only roots of unity for row FFTs
 	input := make([]complex128, n)       // plain copy for verification
 
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("fft.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		lo, hi := apps.Chunk(r, p.ID(), p.NumProcs())
 		// Initialization: each processor fills its rows; P0 the roots.

@@ -165,7 +165,7 @@ func run(cfg core.Config, pr Params) (*core.Result, *quad, error) {
 		q.leafBodies[iy*leafSide+ix] = append(q.leafBodies[iy*leafSide+ix], int32(i))
 	}
 
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("fmm.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		P := p.NumProcs()

@@ -83,7 +83,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	gr, gc := apps.ProcGrid(cfg.Procs)
 	owner := func(I, J int) int { return (I%gr)*gc + (J % gc) }
 
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("lu.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		// Initialization: each processor fills the blocks it owns.
 		rng := rand.New(rand.NewSource(int64(17 + p.ID())))

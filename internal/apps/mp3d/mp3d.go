@@ -99,7 +99,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	}
 
 	var startMom [3]float64
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("mp3d.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		P := p.NumProcs()

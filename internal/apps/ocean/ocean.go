@@ -221,7 +221,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	}
 	errSum := apps.NewF64(m, 1, "errsum") // reduction variable
 	lock := m.NewLock("errsum")
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("ocean.main", cfg.Procs)
 	var initialResidual float64 // plain-Go instrumentation, no simulated refs
 
 	runRes, err := m.Run(func(p *core.Proc) {

@@ -82,7 +82,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 
 	inSum := make([]int64, P) // per-processor plain-Go input checksums
 	inXor := make([]int64, P)
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("radix.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		klo, khi := apps.Chunk(pr.Keys, id, P)

@@ -413,7 +413,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	// balanced by stealing, as in the SPLASH code.
 	blocks, lo, hi := pixelBlocks(cfg.Procs, pr.Width, pr.Height)
 	queues := apps.NewTaskQueues(m, "rt")
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("raytrace.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		// Initialization: processor 0 publishes the scene database.

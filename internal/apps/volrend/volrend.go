@@ -349,7 +349,7 @@ func Run(cfg core.Config, pr Params) (*core.Result, error) {
 	// Volrend balances its very uneven per-ray costs the same way.
 	blocks, lo, hi := pixelBlocks(cfg.Procs, pr.Width, pr.Height)
 	queues := apps.NewTaskQueues(m, "vr")
-	bar := m.NewBarrier()
+	bar := m.NewBarrierN("volrend.main", cfg.Procs)
 	res, err := m.Run(func(p *core.Proc) {
 		id := p.ID()
 		// Initialization: spread the read-only volume publication across

@@ -23,6 +23,7 @@ import (
 
 	"clustersim/internal/cache"
 	"clustersim/internal/coherence"
+	"clustersim/internal/critpath"
 	"clustersim/internal/fault"
 	"clustersim/internal/memory"
 	"clustersim/internal/perf"
@@ -155,6 +156,16 @@ type Config struct {
 	// so it is excluded from the JSON manifest and the config hash and
 	// a monitored run's Result is byte-identical to an unmonitored one.
 	Perf *perf.Monitor `json:"-"`
+
+	// Critpath, when non-nil, attaches the virtual-time critical-path
+	// analyzer: the run is segmented into barrier-delimited phases with
+	// per-processor breakdown deltas, barrier imbalance and lock
+	// contention are attributed per synchronisation object, and the
+	// chain of last arrivers across phases is reported as the run's
+	// critical path (see the critpath package). Purely observational, so
+	// it is excluded from the JSON manifest and the config hash and an
+	// analyzed run's Result is byte-identical to an unanalyzed one.
+	Critpath *critpath.Analyzer `json:"-"`
 
 	// SampleEvery, when positive and Telemetry is attached, snapshots
 	// per-cluster counter deltas every SampleEvery simulated cycles

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clustersim/internal/coherence"
+	"clustersim/internal/critpath"
 	"clustersim/internal/engine"
 	"clustersim/internal/fault"
 	"clustersim/internal/memory"
@@ -55,6 +56,15 @@ type Machine struct {
 	// mon, when set, attributes host wall-clock time to execution
 	// phases (Config.Perf). Hot paths gate on the nil check alone.
 	mon *perf.Monitor
+
+	// crit, when set, receives synchronisation episodes for
+	// critical-path analysis (Config.Critpath). Hot paths gate on the
+	// nil check alone.
+	crit *critpath.Analyzer
+
+	// syncNames guards against two synchronisation objects registering
+	// the same name — indistinguishable in every report.
+	syncNames map[string]int
 }
 
 // NewMachine builds a machine from cfg.
@@ -142,6 +152,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Perf != nil {
 		m.mon = cfg.Perf
 		m.sched.SetTimer(m.mon)
+	}
+	if cfg.Critpath != nil {
+		m.crit = cfg.Critpath
+		m.crit.Start(cfg.Procs, cfg.NumClusters())
 	}
 	return m, nil
 }
@@ -232,6 +246,11 @@ func (m *Machine) BeginMeasurement(p *Proc) {
 		// look cold in the measured phase.
 		m.prof.Reset()
 	}
+	if m.crit != nil {
+		// Phases and sync aggregates recorded during initialization are
+		// discarded so the analysis covers exactly the measured interval.
+		m.crit.NoteReset(m.origin)
+	}
 }
 
 // maybeSample feeds the telemetry interval sampler once the virtual
@@ -316,6 +335,13 @@ func (m *Machine) Run(kernel func(*Proc)) (*Result, error) {
 		for name, c := range m.regionStats {
 			res.Regions[name] = *c
 		}
+	}
+	if m.crit != nil {
+		final := make([]stats.Breakdown, m.cfg.Procs)
+		for i, p := range m.procs {
+			final[i] = p.stats.Breakdown
+		}
+		m.crit.Finish(res.ExecTime, res.Finish, final)
 	}
 	return res, nil
 }

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/stats"
+)
 
 // waiter records a parked processor and its arrival time, for
 // synchronisation wait accounting.
@@ -51,6 +56,16 @@ func (b *Barrier) Wait(p *Proc) {
 			release = w.arrival
 		}
 	}
+	var arrivals []critpath.Arrival
+	if b.m.crit != nil {
+		// Engine arrival order, releasing processor last — the analyzer
+		// breaks virtual-time ties toward the end of this slice.
+		arrivals = make([]critpath.Arrival, 0, b.need)
+		for _, w := range b.waiting {
+			arrivals = append(arrivals, critpath.Arrival{PE: w.p.ID(), At: w.arrival})
+		}
+		arrivals = append(arrivals, critpath.Arrival{PE: p.ID(), At: arrival})
+	}
 	for _, w := range b.waiting {
 		w.p.stats.SyncWait += release - w.arrival
 		b.m.telSyncWait(w.p.ID(), b.id, w.arrival, release)
@@ -59,7 +74,31 @@ func (b *Barrier) Wait(p *Proc) {
 	b.waiting = b.waiting[:0]
 	p.stats.SyncWait += release - arrival
 	b.m.telSyncWait(p.ID(), b.id, arrival, release)
+	// After every participant's wait is charged: at a machine-wide
+	// barrier each processor's cumulative breakdown now totals exactly
+	// release - origin, the tiling property the analyzer's phases rest on.
+	b.m.critBarrierRelease(b, arrivals, release)
 	p.pe.SetTime(release)
+}
+
+// critBarrierRelease feeds one barrier release episode to the
+// critical-path analyzer. Machine-wide barriers also snapshot every
+// processor's cumulative breakdown — they delimit phases — and a closed
+// phase is marked on the telemetry timeline.
+func (m *Machine) critBarrierRelease(b *Barrier, arrivals []critpath.Arrival, release Clock) {
+	if m.crit == nil {
+		return
+	}
+	var breakdowns []stats.Breakdown
+	if b.need == m.cfg.Procs {
+		breakdowns = make([]stats.Breakdown, m.cfg.Procs)
+		for i, p := range m.procs {
+			breakdowns[i] = p.stats.Breakdown
+		}
+	}
+	if name := m.crit.BarrierRelease(b.id, arrivals, release, breakdowns); name != "" && m.tel != nil {
+		m.tel.MarkInstant("phase "+name, release)
+	}
 }
 
 // Lock is a FIFO queueing mutex. Waiting time is charged to
@@ -85,9 +124,15 @@ func (l *Lock) Acquire(p *Proc) {
 	l.m.traceEvent(p.ID(), EvAcquire, uint64(l.id))
 	if l.holder == nil {
 		l.holder = p
+		if l.m.crit != nil {
+			l.m.crit.LockAcquired(l.id, p.ID(), p.pe.Now())
+		}
 		return
 	}
 	l.queue = append(l.queue, waiter{p, p.pe.Now()})
+	if l.m.crit != nil {
+		l.m.crit.LockBlocked(l.id, p.ID(), p.pe.Now(), len(l.queue))
+	}
 	p.pe.Block(fmt.Sprintf("lock %s (held by P%d)", l.name, l.holder.ID()))
 }
 
@@ -99,17 +144,24 @@ func (l *Lock) Release(p *Proc) {
 	p.pe.Yield()
 	l.m.traceEvent(p.ID(), EvRelease, uint64(l.id))
 	if len(l.queue) == 0 {
+		if l.m.crit != nil {
+			l.m.crit.LockReleased(l.id, p.ID(), p.pe.Now())
+		}
 		l.holder = nil
 		return
 	}
 	w := l.queue[0]
 	l.queue = l.queue[1:]
-	release := p.pe.Now()
+	now := p.pe.Now()
+	release := now
 	if w.arrival > release {
 		release = w.arrival
 	}
 	w.p.stats.SyncWait += release - w.arrival
 	l.m.telSyncWait(w.p.ID(), l.id, w.arrival, release)
+	if l.m.crit != nil {
+		l.m.crit.LockHandoff(l.id, p.ID(), w.p.ID(), w.arrival, now, release)
+	}
 	l.holder = w.p
 	p.pe.Unblock(w.p.pe, release)
 }

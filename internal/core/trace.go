@@ -1,6 +1,11 @@
 package core
 
-import "clustersim/internal/telemetry"
+import (
+	"fmt"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/telemetry"
+)
 
 // Event tracing. Tango-lite, the simulator the paper builds on, could
 // both drive the memory system directly (execution-driven, the mode this
@@ -72,11 +77,22 @@ func (m *Machine) traceEvent(proc int, kind EventKind, arg uint64) {
 }
 
 func (m *Machine) defineSync(kind EventKind, id, participants int, name string) {
+	if prev, dup := m.syncNames[name]; dup {
+		panic(fmt.Sprintf("core: sync object %q registered twice (sync IDs %d and %d); "+
+			"give every barrier, lock and flag a distinct name", name, prev, id))
+	}
+	if m.syncNames == nil {
+		m.syncNames = make(map[string]int)
+	}
+	m.syncNames[name] = id
 	if m.tracer != nil {
 		m.tracer.DefineSync(kind, id, participants)
 	}
 	if m.tel != nil {
 		m.tel.DefineSync(id, syncKindOf(kind), name, participants)
+	}
+	if m.crit != nil {
+		m.crit.DefineSync(id, critKindOf(kind), name, participants)
 	}
 }
 
@@ -90,6 +106,19 @@ func syncKindOf(kind EventKind) telemetry.SyncKind {
 		return telemetry.SyncLock
 	default:
 		return telemetry.SyncFlag
+	}
+}
+
+// critKindOf maps the trace event of a sync object's definition to the
+// critical-path analyzer's classification.
+func critKindOf(kind EventKind) critpath.Kind {
+	switch kind {
+	case EvBarrier:
+		return critpath.KindBarrier
+	case EvAcquire:
+		return critpath.KindLock
+	default:
+		return critpath.KindFlag
 	}
 }
 

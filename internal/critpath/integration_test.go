@@ -1,0 +1,218 @@
+// Integration tests driving the analyzer through real machine runs.
+// They live in an external test package because core imports critpath:
+// the analyzer itself must stay import-cycle-free.
+package critpath_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/core"
+	"clustersim/internal/critpath"
+	"clustersim/internal/telemetry"
+)
+
+// critConfig is the small clustered machine every registered
+// application is analyzed on — finite caches so stall components are
+// all populated.
+func critConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Procs = 8
+	cfg.ClusterSize = 2
+	cfg.CacheKBPerProc = 16
+	return cfg
+}
+
+// TestCritpathPhasesTileBreakdowns is the analyzer's load-bearing
+// invariant, checked on all nine applications: the per-phase per-PE
+// breakdown deltas sum exactly — component by component — to the
+// whole-run Breakdown the Result reports, phases chain contiguously
+// from 0 to ExecTime, and within every barrier-closed phase each PE's
+// delta tiles the phase span exactly.
+func TestCritpathPhasesTileBreakdowns(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := critConfig()
+			a := critpath.New()
+			cfg.Critpath = a
+			res, err := w.Run(cfg, apps.SizeTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := a.Report(0)
+			if len(r.Phases) == 0 {
+				t.Fatal("no phases recorded")
+			}
+			if r.ExecTime != res.ExecTime {
+				t.Fatalf("report exec %d, result exec %d", r.ExecTime, res.ExecTime)
+			}
+			// Contiguity: phases cover [0, ExecTime] with no gaps.
+			at := int64(0)
+			for _, ph := range r.Phases {
+				if ph.Start != at {
+					t.Fatalf("phase %q starts at %d, previous ended at %d", ph.Name, ph.Start, at)
+				}
+				at = ph.End
+			}
+			if at != res.ExecTime {
+				t.Fatalf("phases end at %d, run ends at %d", at, res.ExecTime)
+			}
+			for pe := 0; pe < cfg.Procs; pe++ {
+				var sum [4]int64
+				for _, ph := range r.Phases {
+					d := ph.PerPE[pe]
+					sum[0] += d.CPU
+					sum[1] += d.LoadStall
+					sum[2] += d.MergeStall
+					sum[3] += d.SyncWait
+					if d.CPU < 0 || d.LoadStall < 0 || d.MergeStall < 0 || d.SyncWait < 0 {
+						t.Errorf("PE%d phase %q has a negative component: %+v", pe, ph.Name, d)
+					}
+					// Inside a barrier-closed phase every PE's delta tiles
+					// the span exactly; the run-end phase tiles the PE's own
+					// finish time instead.
+					if ph.SyncID >= 0 {
+						if d.Total() != ph.End-ph.Start {
+							t.Errorf("PE%d phase %q delta totals %d, span is %d",
+								pe, ph.Name, d.Total(), ph.End-ph.Start)
+						}
+					} else if d.Total() != res.Finish[pe]-ph.Start {
+						t.Errorf("PE%d run-end delta totals %d, want %d",
+							pe, d.Total(), res.Finish[pe]-ph.Start)
+					}
+				}
+				want := res.Procs[pe].Breakdown
+				if sum[0] != want.CPU || sum[1] != want.LoadStall ||
+					sum[2] != want.MergeStall || sum[3] != want.SyncWait {
+					t.Errorf("PE%d phase sum %v != whole-run breakdown %+v", pe, sum, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCritpathDeterminism requires byte-identical analyzer JSON across
+// two runs of the same configuration, for every application.
+func TestCritpathDeterminism(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func() []byte {
+				t.Helper()
+				cfg := critConfig()
+				a := critpath.New()
+				cfg.Critpath = a
+				if _, err := w.Run(cfg, apps.SizeTest); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := critpath.WriteReport(&buf, a.Report(0)); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			first, second := run(), run()
+			if !bytes.Equal(first, second) {
+				t.Errorf("critpath reports differ across identical runs:\n run 1: %.200s\n run 2: %.200s",
+					first, second)
+			}
+			if !bytes.Contains(first, []byte(critpath.SchemaV1)) {
+				t.Errorf("report missing schema header: %.120s", first)
+			}
+		})
+	}
+}
+
+// TestCritpathReadOnly pins the attachment contract: with the analyzer
+// attached, the config hash and the Result JSON stay byte-identical to
+// an unanalyzed run, for every application.
+func TestCritpathReadOnly(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(analyze bool) ([]byte, string) {
+				t.Helper()
+				cfg := critConfig()
+				if analyze {
+					cfg.Critpath = critpath.New()
+				}
+				res, err := w.Run(cfg, apps.SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hash, err := telemetry.HashConfig(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, hash
+			}
+			plain, hash1 := run(false)
+			analyzed, hash2 := run(true)
+			if hash2 != hash1 {
+				t.Errorf("Critpath changed the config hash: %s vs %s", hash2, hash1)
+			}
+			if !bytes.Equal(plain, analyzed) {
+				t.Errorf("analyzer perturbed the run:\n plain:    %.200s\n analyzed: %.200s",
+					plain, analyzed)
+			}
+		})
+	}
+}
+
+// TestDuplicateSyncNamePanics pins the registration guard: two sync
+// objects with the same name on one machine are indistinguishable in
+// every report, so construction must fail loudly.
+func TestDuplicateSyncNamePanics(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Procs = 2
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NewLock("shared")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate sync name did not panic")
+		}
+	}()
+	m.NewLock("shared")
+}
+
+// TestCritpathPhaseMarks checks the telemetry tie-in: with both
+// collectors attached, every closed phase appears as a named instant on
+// the telemetry timeline.
+func TestCritpathPhaseMarks(t *testing.T) {
+	cfg := critConfig()
+	a := critpath.New()
+	col := telemetry.New()
+	cfg.Critpath = a
+	cfg.Telemetry = col
+	w, err := registry.Lookup("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(cfg, apps.SizeTest); err != nil {
+		t.Fatal(err)
+	}
+	marks := make(map[string]bool)
+	for _, mk := range col.Marks() {
+		marks[mk.Name] = true
+	}
+	r := a.Report(0)
+	for _, ph := range r.Phases {
+		if ph.SyncID < 0 {
+			continue // the run-end phase closes after the engine drains
+		}
+		if !marks["phase "+ph.Name] {
+			t.Errorf("phase %q has no telemetry mark (have %d marks)", ph.Name, len(marks))
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
+	"clustersim/internal/critpath"
 	"clustersim/internal/fault"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
@@ -66,6 +67,10 @@ type Options struct {
 	// (default 10).
 	ProfileDir string
 	ProfileTop int
+	// CritpathDir, when set, attaches the critical-path analyzer to
+	// every run and writes one critpath JSON per simulated point into
+	// the directory (created if missing).
+	CritpathDir string
 	// ManifestOut, when non-nil, receives one compact JSON run manifest
 	// per simulated point, one per line (JSONL).
 	ManifestOut io.Writer
@@ -207,6 +212,11 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		prof = profile.New()
 		cfg.Profile = prof
 	}
+	var crit *critpath.Analyzer
+	if s.Opt.CritpathDir != "" {
+		crit = critpath.New()
+		cfg.Critpath = crit
+	}
 	if s.Opt.PointTimeout > 0 {
 		timer := s.armWatchdog(key, sizeName, hash)
 		defer timer.Stop()
@@ -228,7 +238,7 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		return nil, pointErr
 	}
 	s.fresh++
-	if err := s.export(key, cfg, col, prof, res, time.Since(start)); err != nil { //simlint:allow wallclock
+	if err := s.export(key, cfg, col, prof, crit, res, time.Since(start)); err != nil { //simlint:allow wallclock
 		return nil, err
 	}
 	if s.Opt.Journal != nil {
@@ -292,9 +302,10 @@ func (o Options) observing() bool {
 }
 
 // export emits the per-point observability artifacts: a progress line,
-// a Chrome trace file, a sharing-profile JSON, and a manifest JSONL row.
+// a Chrome trace file, a sharing-profile JSON, a critical-path JSON,
+// and a manifest JSONL row.
 func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
-	prof *profile.Collector, res *core.Result, wall time.Duration) error {
+	prof *profile.Collector, crit *critpath.Analyzer, res *core.Result, wall time.Duration) error {
 	if s.Opt.Progress != nil {
 		fmt.Fprintf(s.Opt.Progress, "ran %s cluster=%d cache=%s: exec %d cycles (wall %v)\n",
 			key.app, key.clusterSize, cacheName(key.cacheKB), res.ExecTime, wall.Round(time.Millisecond))
@@ -324,6 +335,24 @@ func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
 			err = cerr
 		}
 		if err != nil {
+			return err
+		}
+	}
+	var critReport *critpath.Report
+	if crit != nil {
+		critReport = crit.Report(0)
+		critReport.App, critReport.Size = key.app, s.Opt.Size.String()
+		if h, err := telemetry.HashConfig(cfg); err == nil {
+			critReport.ConfigHash = h
+		}
+		path := filepath.Join(s.Opt.CritpathDir,
+			fmt.Sprintf("%s-c%d-%s.critpath.json", key.app, key.clusterSize, cacheName(key.cacheKB)))
+		if err := os.MkdirAll(s.Opt.CritpathDir, 0o755); err != nil {
+			return err
+		}
+		if err := telemetry.AtomicFile(path, func(w io.Writer) error {
+			return critpath.WriteReport(w, critReport)
+		}); err != nil {
 			return err
 		}
 	}
@@ -368,6 +397,9 @@ func (s *Suite) export(key runKey, cfg core.Config, col *telemetry.Collector,
 		}
 		if profReport != nil {
 			m.Profile = profReport.Summary()
+		}
+		if critReport != nil {
+			m.Critpath = critReport.Summary()
 		}
 		if err := telemetry.WriteManifest(&b, m); err != nil {
 			return err

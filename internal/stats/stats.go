@@ -30,6 +30,18 @@ func (b Breakdown) Plus(o Breakdown) Breakdown {
 	}
 }
 
+// Minus returns the component-wise difference b - o: the exact inverse
+// of Plus, so interval deltas taken between two cumulative snapshots
+// tile the whole (the critical-path analyzer's phase invariant).
+func (b Breakdown) Minus(o Breakdown) Breakdown {
+	return Breakdown{
+		CPU:        b.CPU - o.CPU,
+		LoadStall:  b.LoadStall - o.LoadStall,
+		MergeStall: b.MergeStall - o.MergeStall,
+		SyncWait:   b.SyncWait - o.SyncWait,
+	}
+}
+
 // Counters tallies memory references by outcome.
 type Counters struct {
 	Reads  uint64
@@ -77,7 +89,29 @@ func (c Counters) Plus(o Counters) Counters {
 	}
 }
 
-// CountRead records the outcome of a read access.
+// Minus returns the field-wise difference c - o: the exact inverse of
+// Plus, pairing cumulative-counter snapshots into interval deltas (the
+// telemetry sampler and the critical-path analyzer's phase snapshots).
+func (c Counters) Minus(o Counters) Counters {
+	return Counters{
+		Reads:        c.Reads - o.Reads,
+		Writes:       c.Writes - o.Writes,
+		ReadHits:     c.ReadHits - o.ReadHits,
+		WriteHits:    c.WriteHits - o.WriteHits,
+		ReadMisses:   c.ReadMisses - o.ReadMisses,
+		WriteMisses:  c.WriteMisses - o.WriteMisses,
+		Upgrades:     c.Upgrades - o.Upgrades,
+		Merges:       c.Merges - o.Merges,
+		WriteMerges:  c.WriteMerges - o.WriteMerges,
+		LocalClean:   c.LocalClean - o.LocalClean,
+		LocalDirty:   c.LocalDirty - o.LocalDirty,
+		RemoteClean:  c.RemoteClean - o.RemoteClean,
+		RemoteDirty:  c.RemoteDirty - o.RemoteDirty,
+		IntraCluster: c.IntraCluster - o.IntraCluster,
+	}
+}
+
+// CountRead records the outcome of one read access.
 func (c *Counters) CountRead(a coherence.Access) {
 	c.Reads++
 	switch a.Class {
@@ -163,4 +197,9 @@ type Proc struct {
 // Plus returns the sum of two per-processor records.
 func (p Proc) Plus(o Proc) Proc {
 	return Proc{Breakdown: p.Breakdown.Plus(o.Breakdown), Counters: p.Counters.Plus(o.Counters)}
+}
+
+// Minus returns the difference of two per-processor records.
+func (p Proc) Minus(o Proc) Proc {
+	return Proc{Breakdown: p.Breakdown.Minus(o.Breakdown), Counters: p.Counters.Minus(o.Counters)}
 }

@@ -94,6 +94,46 @@ func TestPlusProperty(t *testing.T) {
 	}
 }
 
+// Property: Minus inverts Plus exactly, field for field — the algebra
+// the critical-path analyzer's phase deltas rely on.
+func TestPlusMinusRoundTrip(t *testing.T) {
+	f := func(c1, l1, m1, s1, c2, l2, m2, s2 int32, r1, w1, rm1, u1 uint32) bool {
+		a := Proc{
+			Breakdown: Breakdown{CPU: int64(c1), LoadStall: int64(l1), MergeStall: int64(m1), SyncWait: int64(s1)},
+			Counters:  Counters{Reads: uint64(r1), Writes: uint64(w1), ReadMisses: uint64(rm1), Upgrades: uint64(u1)},
+		}
+		b := Proc{
+			Breakdown: Breakdown{CPU: int64(c2), LoadStall: int64(l2), MergeStall: int64(m2), SyncWait: int64(s2)},
+			Counters:  Counters{Reads: uint64(w1), Writes: uint64(rm1), WriteMisses: uint64(u1), Merges: uint64(r1)},
+		}
+		return a.Plus(b).Minus(b) == a && b.Plus(a).Minus(a) == b &&
+			a.Minus(b).Plus(b) == a && a.Minus(a) == (Proc{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Minus must cover every field Plus covers: a cumulative snapshot delta
+// that silently drops a field would corrupt interval accounting.
+func TestMinusCoversAllCounterFields(t *testing.T) {
+	full := Counters{
+		Reads: 1, Writes: 2, ReadHits: 3, WriteHits: 4, ReadMisses: 5,
+		WriteMisses: 6, Upgrades: 7, Merges: 8, WriteMerges: 9,
+		LocalClean: 10, LocalDirty: 11, RemoteClean: 12, RemoteDirty: 13,
+		IntraCluster: 14,
+	}
+	if got := full.Minus(Counters{}); got != full {
+		t.Fatalf("Minus(zero) = %+v, want identity", got)
+	}
+	if got := full.Minus(full); got != (Counters{}) {
+		t.Fatalf("Minus(self) = %+v, want zero", got)
+	}
+	if got := full.Plus(full).Minus(full); got != full {
+		t.Fatalf("Plus then Minus = %+v, want %+v", got, full)
+	}
+}
+
 func TestIntraClusterCounted(t *testing.T) {
 	var c Counters
 	c.CountRead(coherence.Access{Class: coherence.ReadMiss, Hops: coherence.HopIntraCluster, Stall: 15})

@@ -24,7 +24,11 @@ type Manifest struct {
 	Result     any           `json:"result"`
 	Memory     *MemoryReport `json:"memory,omitempty"`
 	Profile    any           `json:"profile,omitempty"`
-	Telemetry  *SelfReport   `json:"telemetry,omitempty"`
+	// Critpath is the critical-path analyzer's summary block
+	// (*critpath.Summary in practice): phase count, balanced-ideal
+	// execution time and the top contended lock.
+	Critpath  any         `json:"critpath,omitempty"`
+	Telemetry *SelfReport `json:"telemetry,omitempty"`
 	// Host is the host-side block (perf.Host in practice): Go version,
 	// GOOS/GOARCH, GOMAXPROCS, wall duration, peak heap. It describes the
 	// machine the simulator ran on, never the simulated machine — scripts
@@ -154,6 +158,7 @@ type ManifestDoc struct {
 	Result     json.RawMessage `json:"result"`
 	Memory     *MemoryReport   `json:"memory"`
 	Profile    json.RawMessage `json:"profile"`
+	Critpath   json.RawMessage `json:"critpath"`
 	Telemetry  *SelfReport     `json:"telemetry"`
 	Host       json.RawMessage `json:"host"`
 }

@@ -33,22 +33,7 @@ type ClusterSample struct {
 
 func (a ClusterSample) minus(b ClusterSample) ClusterSample {
 	return ClusterSample{
-		Refs: stats.Counters{
-			Reads:        a.Refs.Reads - b.Refs.Reads,
-			Writes:       a.Refs.Writes - b.Refs.Writes,
-			ReadHits:     a.Refs.ReadHits - b.Refs.ReadHits,
-			WriteHits:    a.Refs.WriteHits - b.Refs.WriteHits,
-			ReadMisses:   a.Refs.ReadMisses - b.Refs.ReadMisses,
-			WriteMisses:  a.Refs.WriteMisses - b.Refs.WriteMisses,
-			Upgrades:     a.Refs.Upgrades - b.Refs.Upgrades,
-			Merges:       a.Refs.Merges - b.Refs.Merges,
-			WriteMerges:  a.Refs.WriteMerges - b.Refs.WriteMerges,
-			LocalClean:   a.Refs.LocalClean - b.Refs.LocalClean,
-			LocalDirty:   a.Refs.LocalDirty - b.Refs.LocalDirty,
-			RemoteClean:  a.Refs.RemoteClean - b.Refs.RemoteClean,
-			RemoteDirty:  a.Refs.RemoteDirty - b.Refs.RemoteDirty,
-			IntraCluster: a.Refs.IntraCluster - b.Refs.IntraCluster,
-		},
+		Refs: a.Refs.Minus(b.Refs),
 		Coh: coherence.Stats{
 			InvalidationsSent:     a.Coh.InvalidationsSent - b.Coh.InvalidationsSent,
 			InvalidationsReceived: a.Coh.InvalidationsReceived - b.Coh.InvalidationsReceived,
