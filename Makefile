@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
+.PHONY: all build vet lint simlint sarif sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
 
 all: build lint test
 
@@ -12,14 +12,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet plus simlint, the project's determinism
-# linter (wall-clock reads, unseeded rand, order-dependent map ranges,
-# stray goroutines, float accumulation into virtual time).
+# Static analysis: go vet plus simlint, the project's determinism and
+# contract linter — wall-clock reads, unseeded rand, order-dependent
+# map ranges, stray goroutines, float accumulation into virtual time,
+# config-hash exclusion drift, observer packages mutating simulation
+# state, empty/duplicate sync names, and stale //simlint:allow
+# directives. Findings are gated against the checked-in baseline
+# (empty: the tree is clean). `make sarif` renders the same run as
+# SARIF 2.1.0 for CI annotation.
 lint: vet simlint
 
 simlint:
-	$(GO) run ./cmd/simlint ./...
-	$(GO) run ./cmd/simlint -tests ./...
+	$(GO) run ./cmd/simlint -baseline .simlint-baseline.json ./...
+	$(GO) run ./cmd/simlint -tests -baseline .simlint-baseline.json ./...
+
+SARIF_OUT ?= /tmp/clustersim-sarif
+sarif:
+	@mkdir -p $(SARIF_OUT)
+	$(GO) run ./cmd/simlint -tests -baseline .simlint-baseline.json \
+		-sarif $(SARIF_OUT)/simlint.sarif ./... || true
+	@echo "sarif: wrote $(SARIF_OUT)/simlint.sarif"
 
 # Short reproduction sweep with the runtime sanitizer attached: every
 # coherence transaction is cross-validated against the directory, so a

@@ -203,6 +203,24 @@ type Config struct {
 	Label string `json:"-"`
 }
 
+// HashExcludedFields names every Config field excluded from the JSON
+// manifest and therefore from the config hash (telemetry.HashConfig).
+// The simlint hashexclude rule keeps this set and the json:"-" struct
+// tags above in lockstep at compile time; TestHashExclusionContract
+// cross-checks it by reflection at run time. Faults is deliberately
+// absent: its `json:",omitempty"` tag opts a non-nil fault plan INTO
+// the hash while keeping plan-free runs byte-identical to old builds.
+var HashExcludedFields = []string{
+	"Tracer",
+	"Telemetry",
+	"Profile",
+	"Perf",
+	"Critpath",
+	"SampleEvery",
+	"Sanitize",
+	"Label",
+}
+
 // DefaultConfig returns the paper's baseline machine: 64 processors,
 // unclustered, infinite caches, 64-byte lines, Table 1 latencies.
 func DefaultConfig() Config {

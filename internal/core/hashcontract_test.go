@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHashExclusionContract is the runtime twin of simlint's
+// hashexclude rule: HashExcludedFields and the json:"-" struct tags on
+// Config must describe exactly the same set of fields, so the config
+// hash's input is a single auditable list.
+func TestHashExclusionContract(t *testing.T) {
+	tagged := make(map[string]bool)
+	rt := reflect.TypeOf(Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "-" {
+			tagged[f.Name] = true
+			continue
+		}
+		// Attachment-shaped fields (pointers, interfaces, funcs) must be
+		// either hash-excluded or an explicit omitempty opt-in like
+		// Faults — never silently part of the hash.
+		switch f.Type.Kind() {
+		case reflect.Ptr, reflect.Interface, reflect.Func:
+			if !strings.Contains(tag, "omitempty") {
+				t.Errorf("attachment field Config.%s is neither json:\"-\" nor json:\",omitempty\"", f.Name)
+			}
+		}
+	}
+
+	declared := make(map[string]bool, len(HashExcludedFields))
+	for _, name := range HashExcludedFields {
+		if declared[name] {
+			t.Errorf("HashExcludedFields lists %q twice", name)
+		}
+		declared[name] = true
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("HashExcludedFields lists %q but Config has no such field", name)
+		}
+		if !tagged[name] {
+			t.Errorf("HashExcludedFields lists %q but Config.%s does not carry json:\"-\"", name, name)
+		}
+	}
+	for name := range tagged {
+		if !declared[name] {
+			t.Errorf("Config.%s carries json:\"-\" but is missing from HashExcludedFields", name)
+		}
+	}
+
+	want := append([]string(nil), HashExcludedFields...)
+	sort.Strings(want)
+	got := make([]string, 0, len(tagged))
+	for name := range tagged {
+		got = append(got, name) //simlint:allow maprange — fully sorted below
+	}
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("exclusion set size mismatch: tags %v vs declared %v", got, want)
+	}
+}

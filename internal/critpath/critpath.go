@@ -218,10 +218,10 @@ func (a *Analyzer) NoteReset(at Clock) {
 	for i := range a.base {
 		a.base[i] = stats.Breakdown{}
 	}
-	for _, b := range a.barriers { //simlint:allow maprange — order-independent zeroing
+	for _, b := range a.barriers {
 		b.reset()
 	}
-	for _, l := range a.locks { //simlint:allow maprange — order-independent zeroing
+	for _, l := range a.locks {
 		l.reset(0)
 	}
 }
@@ -365,7 +365,7 @@ func (a *Analyzer) Finish(execTime Clock, finish []Clock, final []stats.Breakdow
 	a.finish = append([]Clock(nil), finish...)
 	// A lock still held at run end (a kernel bug core tolerates) has
 	// its open hold charged through the end of the run.
-	for _, l := range a.locks { //simlint:allow maprange — order-independent accumulation
+	for _, l := range a.locks {
 		if l.holder >= 0 {
 			a.closeHold(l, a.origin+execTime)
 			l.holder = -1

@@ -183,7 +183,7 @@ func TestDuplicateSyncNamePanics(t *testing.T) {
 			t.Fatal("duplicate sync name did not panic")
 		}
 	}()
-	m.NewLock("shared")
+	m.NewLock("shared") //simlint:allow syncname — deliberately duplicated to prove the panic
 }
 
 // TestCritpathPhaseMarks checks the telemetry tie-in: with both

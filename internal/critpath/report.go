@@ -221,7 +221,7 @@ func (a *Analyzer) barrierReports() []BarrierReport {
 // result is the count before the cut.
 func (a *Analyzer) lockReports(n int) ([]LockReport, int) {
 	var out []LockReport
-	for id, l := range a.locks { //simlint:allow maprange — fully sorted below
+	for id, l := range a.locks {
 		if l.acquisitions == 0 {
 			continue
 		}

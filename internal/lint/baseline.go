@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline grandfathers known findings: CheckModule output matched by
+// a baseline entry is tracked rather than failed, so the rule set can
+// grow ahead of the cleanup. Entries match on (rule, file, message) —
+// deliberately not line numbers, which drift with every edit above the
+// finding. Identical findings in one file are matched as a multiset.
+//
+// The checked-in baseline is empty (the tree is clean); it exists so a
+// future rule that surfaces pre-existing violations can gate new code
+// immediately while the backlog is burned down entry by entry.
+
+// BaselineSchema identifies the baseline file format.
+const BaselineSchema = "clustersim/simlint-baseline/v1"
+
+// Baseline is the on-disk findings baseline.
+type Baseline struct {
+	Schema   string          `json:"schema"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry grandfathers findings of one rule with one message in
+// one file. Count is how many identical findings are covered (default
+// 1).
+type BaselineEntry struct {
+	Rule  string `json:"rule"`
+	File  string `json:"file"` // module-root-relative, slash-separated
+	Msg   string `json:"msg"`
+	Count int    `json:"count,omitempty"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Rule + "\x00" + e.File + "\x00" + e.Msg
+}
+
+func (e BaselineEntry) count() int {
+	if e.Count <= 0 {
+		return 1
+	}
+	return e.Count
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// relTo relativizes a finding's absolute file name against the module
+// root, in the slash form baselines and SARIF store.
+func relTo(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Apply splits findings into the ones the baseline does not cover (new
+// violations, which gate) and the grandfathered count, and reports
+// baseline entries that matched nothing — stale entries whose findings
+// have been fixed and that should be removed from the file.
+func (b *Baseline) Apply(findings []Finding, root string) (fresh []Finding, grandfathered int, stale []BaselineEntry) {
+	remaining := make(map[string]int)
+	for _, e := range b.Findings {
+		remaining[e.key()] += e.count()
+	}
+	for _, f := range findings {
+		k := BaselineEntry{Rule: f.Rule, File: relTo(root, f.Pos.Filename), Msg: f.Msg}.key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			grandfathered++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if n := remaining[e.key()]; n > 0 {
+			remaining[e.key()] = 0
+			se := e
+			se.Count = n
+			stale = append(stale, se)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return fresh, grandfathered, stale
+}
+
+// NewBaseline builds a baseline that covers exactly the given findings.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, f := range findings {
+		counts[BaselineEntry{Rule: f.Rule, File: relTo(root, f.Pos.Filename), Msg: f.Msg}]++
+	}
+	b := &Baseline{Schema: BaselineSchema, Findings: []BaselineEntry{}}
+	for e, n := range counts {
+		if n > 1 {
+			e.Count = n
+		}
+		b.Findings = append(b.Findings, e) //simlint:allow maprange — fully sorted below
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// WriteFile writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func bfind(rule, file string, line int, msg string) Finding {
+	return Finding{Rule: rule, Pos: token.Position{Filename: file, Line: line, Column: 1}, Msg: msg}
+}
+
+// TestBaselineRoundTrip: a baseline built from a finding set covers
+// exactly that set — everything grandfathered, nothing fresh, nothing
+// stale — even after the findings' line numbers drift.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/src/mod"
+	findings := []Finding{
+		bfind(RuleMapRange, "/src/mod/internal/a/a.go", 10, "range over map"),
+		bfind(RuleMapRange, "/src/mod/internal/a/a.go", 30, "range over map"), // identical twice: multiset
+		bfind(RuleWallclock, "/src/mod/internal/b/b.go", 5, "time.Now"),
+	}
+	b := NewBaseline(findings, root)
+	if len(b.Findings) != 2 {
+		t.Fatalf("want 2 entries (one with count 2), got %+v", b.Findings)
+	}
+
+	drifted := make([]Finding, len(findings))
+	copy(drifted, findings)
+	for i := range drifted {
+		drifted[i].Pos.Line += 100 // baselines must survive line drift
+	}
+	fresh, grandfathered, stale := b.Apply(drifted, root)
+	if len(fresh) != 0 || grandfathered != 3 || len(stale) != 0 {
+		t.Errorf("round trip: fresh=%v grandfathered=%d stale=%v", fresh, grandfathered, stale)
+	}
+}
+
+// TestBaselineFreshAndStale: findings beyond an entry's count are
+// fresh; entries (or count surplus) matching nothing are stale.
+func TestBaselineFreshAndStale(t *testing.T) {
+	root := "/src/mod"
+	b := &Baseline{Schema: BaselineSchema, Findings: []BaselineEntry{
+		{Rule: RuleMapRange, File: "internal/a/a.go", Msg: "range over map", Count: 2},
+		{Rule: RuleRand, File: "internal/gone/gone.go", Msg: "unseeded rand"},
+	}}
+	findings := []Finding{
+		bfind(RuleMapRange, "/src/mod/internal/a/a.go", 10, "range over map"),
+		bfind(RuleMapRange, "/src/mod/internal/a/a.go", 20, "range over map"),
+		bfind(RuleMapRange, "/src/mod/internal/a/a.go", 30, "range over map"), // third: beyond count 2
+		bfind(RuleWallclock, "/src/mod/internal/c/c.go", 7, "time.Now"),       // not in baseline at all
+	}
+	fresh, grandfathered, stale := b.Apply(findings, root)
+	if grandfathered != 2 {
+		t.Errorf("grandfathered = %d, want 2", grandfathered)
+	}
+	if len(fresh) != 2 || fresh[0].Pos.Line != 30 || fresh[1].Rule != RuleWallclock {
+		t.Errorf("fresh = %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "internal/gone/gone.go" {
+		t.Errorf("stale = %v", stale)
+	}
+}
+
+// TestBaselineFile: WriteFile/LoadBaseline round-trip, plus schema
+// validation on load.
+func TestBaselineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	b := NewBaseline([]Finding{bfind(RuleGoroutine, "/m/x.go", 1, "naked go")}, "/m")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 1 || got.Findings[0] != b.Findings[0] {
+		t.Errorf("round-trip mismatch: %+v vs %+v", got.Findings, b.Findings)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	wrong := &Baseline{Schema: "someone-else/v9"}
+	if err := wrong.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("foreign schema must be rejected")
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,584 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// This file implements the cross-package contract rules: readonly (an
+// observer package must not mutate simulation state) and hashexclude
+// (core.Config's hash-exclusion contract). Both need type information
+// that crosses package boundaries — the loader type-checks the module
+// in dependency order precisely so method objects and field types
+// resolve to their defining packages here.
+
+// module is the cross-package view of one CheckModule run.
+type module struct {
+	// mutating marks pointer-receiver methods whose bodies write through
+	// their receiver, directly or transitively via other methods on the
+	// receiver. Accessors (pointer receiver, no writes) are absent.
+	mutating map[*types.Func]bool
+}
+
+// methodFacts is the per-method input to the fixed point.
+type methodFacts struct {
+	direct  bool // body writes through the receiver
+	callees []*types.Func
+}
+
+// newModule scans every method body in the loaded packages and computes
+// the mutating-method set by fixed point: a method mutates if it writes
+// through its receiver (assignment, ++/--, delete/clear of a receiver
+// map) or calls a receiver method that does.
+func newModule(pkgs []*Package) *module {
+	facts := make(map[*types.Func]*methodFacts)
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts[obj] = methodBodyFacts(pkg, fd)
+			}
+		}
+	}
+	mutating := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for obj, mf := range facts {
+			if mutating[obj] {
+				continue
+			}
+			fire := mf.direct
+			for _, c := range mf.callees {
+				if mutating[c] {
+					fire = true
+					break
+				}
+			}
+			if fire {
+				mutating[obj] = true
+				changed = true //simlint:allow maprange — monotone flag, order-independent
+			}
+		}
+	}
+	return &module{mutating: mutating}
+}
+
+// isBuiltinOrUnresolved reports whether id resolves to a predeclared
+// builtin (delete, clear) rather than a user function shadowing the
+// name. Unresolved (degraded type info) counts as builtin.
+func isBuiltinOrUnresolved(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// methodBodyFacts extracts, from one method body, whether it writes
+// through its receiver and which receiver methods it calls.
+func methodBodyFacts(pkg *Package, fd *ast.FuncDecl) *methodFacts {
+	mf := &methodFacts{}
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		recvObj = pkg.Info.Defs[names[0]]
+	}
+	if recvObj == nil {
+		return mf // unnamed receiver: the body cannot reach it
+	}
+	rootsAtRecv := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		return id != nil && pkg.Info.ObjectOf(id) == recvObj
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootsAtRecv(lhs) {
+					mf.direct = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootsAtRecv(n.X) {
+				mf.direct = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") &&
+				len(n.Args) > 0 && rootsAtRecv(n.Args[0]) && isBuiltinOrUnresolved(pkg, id) {
+				mf.direct = true
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !rootsAtRecv(sel.X) {
+				return true
+			}
+			if callee, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+				mf.callees = append(mf.callees, callee)
+			}
+		}
+		return true
+	})
+	return mf
+}
+
+// --- rule: readonly ----------------------------------------------------
+
+// stateNamed returns the named state-package type behind t (directly or
+// one pointer away), or nil.
+func stateNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if !isStatePackage(named.Obj().Pkg().Path()) {
+		return nil
+	}
+	return named
+}
+
+// isStatePointer reports whether t is a pointer whose element is a
+// named type from a state package.
+func isStatePointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return stateNamed(p.Elem()) != nil
+}
+
+// statePointerOnPath walks an lvalue chain outside-in and returns the
+// named state type of the first pointer the chain dereferences, or nil.
+// `b.CPU = 0` with b *stats.Breakdown dereferences a state pointer;
+// `m.snap.CPU = 0` with m *perf.Monitor and snap a value field does not
+// — the observer owns the storage it writes.
+func (fc *fileChecker) statePointerOnPath(e ast.Expr) *types.Named {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if t := fc.typeOf(v.X); isStatePointer(t) {
+				return stateNamed(t)
+			}
+			e = v.X
+		case *ast.StarExpr:
+			if t := fc.typeOf(v.X); isStatePointer(t) {
+				return stateNamed(t)
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			if t := fc.typeOf(v.X); isStatePointer(t) {
+				return stateNamed(t)
+			}
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkReadonlyAssign flags writes that reach simulation state through a
+// pointer from observer code.
+func (fc *fileChecker) checkReadonlyAssign(a *ast.AssignStmt) {
+	if !fc.inObserver() {
+		return
+	}
+	for _, lhs := range a.Lhs {
+		if named := fc.statePointerOnPath(lhs); named != nil {
+			fc.report(RuleReadonly, lhs.Pos(),
+				"observer package writes through *%s.%s into simulation state; observers must copy, never mutate",
+				named.Obj().Pkg().Name(), named.Obj().Name())
+		}
+	}
+}
+
+func (fc *fileChecker) checkReadonlyIncDec(s *ast.IncDecStmt) {
+	if !fc.inObserver() {
+		return
+	}
+	if named := fc.statePointerOnPath(s.X); named != nil {
+		fc.report(RuleReadonly, s.X.Pos(),
+			"observer package writes through *%s.%s into simulation state; observers must copy, never mutate",
+			named.Obj().Pkg().Name(), named.Obj().Name())
+	}
+}
+
+// checkReadonlyCall flags calls from observer code to mutating
+// (pointer-receiver, non-accessor) methods of state-package types.
+func (fc *fileChecker) checkReadonlyCall(call *ast.CallExpr) {
+	if !fc.inObserver() || fc.mod == nil || fc.pkg.Info == nil {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := fc.pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	obj, ok := selection.Obj().(*types.Func)
+	if !ok || !fc.mod.mutating[obj] {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, ptrRecv := sig.Recv().Type().Underlying().(*types.Pointer); !ptrRecv {
+		return // value receiver mutates only its copy
+	}
+	named := stateNamed(sig.Recv().Type())
+	if named == nil {
+		return
+	}
+	fc.report(RuleReadonly, call.Pos(),
+		"observer package calls mutating method (*%s.%s).%s on simulation state; observers must copy, never mutate",
+		named.Obj().Pkg().Name(), named.Obj().Name(), obj.Name())
+}
+
+func (fc *fileChecker) inObserver() bool {
+	if !IsObserverPackage(fc.pkg.Path) {
+		return false
+	}
+	// Observer tests must construct and drive the simulation state they
+	// observe; the read-only contract binds production code only.
+	name := fc.pkg.Fset.Position(fc.file.Pos()).Filename
+	return !strings.HasSuffix(name, "_test.go")
+}
+
+// --- rule: hashexclude -------------------------------------------------
+
+// hashConfigPath is the package whose Config/HashExcludedFields pair the
+// rule audits.
+const hashConfigPath = "clustersim/internal/core"
+
+// hashExclusionSetName is the required declaration: a package-level
+// []string (or [...]string) of field names excluded from the config
+// hash.
+const hashExclusionSetName = "HashExcludedFields"
+
+// checkHashExclude enforces the config-hash contract on
+// clustersim/internal/core: the journal, the memoizing result cache and
+// every byte-identical-Result guarantee key off telemetry.HashConfig's
+// JSON encoding of Config, so which fields feed the hash must be an
+// explicit, machine-checked list rather than a scattering of struct
+// tags.
+func checkHashExclude(pkg *Package, opts *Options) []Finding {
+	if opts.disabled(RuleHashExclude) || pkg.Path != hashConfigPath {
+		return nil
+	}
+	var (
+		cfg     *ast.StructType
+		cfgPos  *ast.TypeSpec
+		setLit  *ast.CompositeLit
+		setSpec *ast.ValueSpec
+	)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if n.Name.Name == "Config" {
+					if st, ok := n.Type.(*ast.StructType); ok {
+						cfg, cfgPos = st, n
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if name.Name == hashExclusionSetName && i < len(n.Values) {
+						if lit, ok := n.Values[i].(*ast.CompositeLit); ok {
+							setLit, setSpec = lit, n
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if cfg == nil {
+		return nil
+	}
+	var out []Finding
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		out = append(out, Finding{
+			Rule: RuleHashExclude,
+			Pos:  pkg.Fset.Position(pos.Pos()),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	if setLit == nil {
+		report(cfgPos, "package declares Config but no %s exclusion set; "+
+			"declare `var %s = []string{...}` listing every json:\"-\" field", hashExclusionSetName, hashExclusionSetName)
+		return out
+	}
+	excluded := make(map[string]bool)
+	for _, el := range setLit.Elts {
+		if lit, ok := el.(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				excluded[s] = true
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	for _, field := range cfg.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded fields keep their own contracts
+		}
+		dash, omitempty := jsonTagFacts(field)
+		attachment, observer, typeDesc := pkg.fieldTypeFacts(field.Type)
+		for _, name := range field.Names {
+			seen[name.Name] = true
+			switch {
+			case dash && !excluded[name.Name]:
+				report(name, "Config.%s is hash-excluded (json:\"-\") but missing from %s; "+
+					"declare it so the exclusion is part of the audited contract", name.Name, hashExclusionSetName)
+			case !dash && excluded[name.Name]:
+				report(name, "Config.%s is listed in %s but lacks json:\"-\": "+
+					"it still feeds the config hash and Result JSON", name.Name, hashExclusionSetName)
+			}
+			if observer && !dash {
+				report(name, "Config.%s has observer type %s and must carry json:\"-\": "+
+					"observers may never change the config hash", name.Name, typeDesc)
+			} else if attachment && !dash && !omitempty {
+				report(name, "Config.%s is an attachment point (%s) and must either be hash-excluded "+
+					"(json:\"-\") or opt in to the hash explicitly (json:\",omitempty\")", name.Name, typeDesc)
+			}
+		}
+	}
+	for name := range excluded {
+		if !seen[name] {
+			report(setSpec, "%s entry %q names no Config field; remove the stale entry", hashExclusionSetName, name)
+		}
+	}
+	return out
+}
+
+// jsonTagFacts reads a struct field's json tag: whether it is "-"
+// (excluded from marshalling and therefore the hash) and whether it
+// carries omitempty.
+func jsonTagFacts(field *ast.Field) (dash, omitempty bool) {
+	if field.Tag == nil {
+		return false, false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false, false
+	}
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return false, false
+	}
+	parts := strings.Split(tag, ",")
+	if parts[0] == "-" && len(parts) == 1 {
+		return true, false
+	}
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			omitempty = true
+		}
+	}
+	return false, omitempty
+}
+
+// fieldTypeFacts classifies a Config field's type: attachment points are
+// pointers, interfaces and funcs (reference semantics — attaching one
+// must not silently alter the hash); observer types are named types from
+// the observer packages. Falls back to the AST when type information is
+// unavailable.
+func (pkg *Package) fieldTypeFacts(expr ast.Expr) (attachment, observer bool, desc string) {
+	var t types.Type
+	if pkg.Info != nil {
+		t = pkg.Info.TypeOf(expr)
+		if t == types.Typ[types.Invalid] {
+			t = nil
+		}
+	}
+	if t != nil {
+		desc = t.String()
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			attachment = true
+			if named, ok := u.Elem().(*types.Named); ok && named.Obj().Pkg() != nil &&
+				IsObserverPackage(named.Obj().Pkg().Path()) {
+				observer = true
+			}
+		case *types.Interface:
+			attachment = true
+		case *types.Signature:
+			attachment = true
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+			IsObserverPackage(named.Obj().Pkg().Path()) {
+			observer = true
+		}
+		return attachment, observer, desc
+	}
+	switch expr.(type) {
+	case *ast.StarExpr, *ast.FuncType, *ast.InterfaceType:
+		attachment = true
+	}
+	return attachment, false, types.ExprString(expr)
+}
+
+// --- rule: syncname ----------------------------------------------------
+
+// syncConstructors are the Machine methods that register a named
+// synchronisation object; core.defineSync panics at run time when two
+// objects share a name, and an empty name is indistinguishable from
+// another empty name.
+var syncConstructors = map[string]bool{
+	"NewBarrierN": true,
+	"NewLock":     true,
+	"NewFlag":     true,
+}
+
+// syncCall is one sync-constructor call site found in a file.
+type syncCall struct {
+	call *ast.CallExpr
+	sel  *ast.SelectorExpr
+}
+
+// checkSyncNames runs the syncname rule over one file: constructor name
+// arguments must be non-empty, and two calls in the same function with
+// the same receiver must not pass the same constant name (that is the
+// duplicate-name panic of core.defineSync, promoted to a finding).
+// Distinct functions may reuse names: they typically build distinct
+// machines.
+func (fc *fileChecker) checkSyncNames() {
+	if fc.opts.disabled(RuleSyncName) {
+		return
+	}
+	calls := fc.collectSyncCalls()
+	if len(calls) == 0 {
+		return
+	}
+	type funcScope struct {
+		node ast.Node
+		seen map[string]ast.Expr // receiver|name -> first call
+	}
+	var fns []ast.Node
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	innermost := func(pos ast.Expr) ast.Node {
+		var best ast.Node
+		for _, fn := range fns {
+			if fn.Pos() <= pos.Pos() && pos.End() <= fn.End() {
+				if best == nil || (best.Pos() <= fn.Pos() && fn.End() <= best.End()) {
+					best = fn
+				}
+			}
+		}
+		return best
+	}
+	scopes := make(map[ast.Node]*funcScope)
+	for _, sc := range calls {
+		name, isConst := fc.constStringArg(sc.call.Args[0])
+		if isConst && name == "" {
+			fc.report(RuleSyncName, sc.call.Args[0].Pos(),
+				"%s needs a non-empty name: sync objects are identified by name in traces, "+
+					"the critical-path analyzer and duplicate detection", sc.sel.Sel.Name)
+			continue
+		}
+		if !isConst {
+			continue // dynamic names (fmt.Sprintf per index) are the sanctioned pattern
+		}
+		fn := innermost(sc.call)
+		scope := scopes[fn]
+		if scope == nil {
+			scope = &funcScope{node: fn, seen: make(map[string]ast.Expr)}
+			scopes[fn] = scope
+		}
+		key := types.ExprString(sc.sel.X) + "\x00" + name
+		if first, dup := scope.seen[key]; dup {
+			fc.report(RuleSyncName, sc.call.Pos(),
+				"duplicate sync name %q on %s in this function (first at %s); "+
+					"core.defineSync panics at run time on duplicate names",
+				name, types.ExprString(sc.sel.X), fc.pkg.Fset.Position(first.Pos()))
+			continue
+		}
+		scope.seen[key] = sc.call
+	}
+}
+
+// collectSyncCalls finds NewBarrierN/NewLock/NewFlag method calls with
+// at least one argument. When type information resolves the receiver,
+// only Machine receivers count; unresolved receivers (stubbed imports
+// in fixtures) are matched by method name alone.
+func (fc *fileChecker) collectSyncCalls() []syncCall {
+	var out []syncCall
+	ast.Inspect(fc.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !syncConstructors[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && fc.pkg.Info != nil {
+			if _, isPkg := fc.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return true // package function, not a Machine method
+			}
+		}
+		if t := fc.typeOf(sel.X); t != nil {
+			named := t
+			if p, ok := named.Underlying().(*types.Pointer); ok {
+				named = p.Elem()
+			}
+			if n, ok := named.(*types.Named); ok && n.Obj().Name() != "Machine" {
+				return true
+			}
+		}
+		out = append(out, syncCall{call: call, sel: sel})
+		return true
+	})
+	return out
+}
+
+// constStringArg resolves an expression to a compile-time string
+// constant, via type information first and string literals as fallback.
+func (fc *fileChecker) constStringArg(e ast.Expr) (value string, isConst bool) {
+	if fc.pkg.Info != nil {
+		if tv, ok := fc.pkg.Info.Types[e]; ok && tv.Value != nil {
+			if tv.Value.Kind() == constant.String {
+				return constant.StringVal(tv.Value), true
+			}
+			return "", false
+		}
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}

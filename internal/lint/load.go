@@ -64,10 +64,18 @@ func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
+// ModRoot returns the module root directory of the last Load, the base
+// that findings' absolute file names are made relative to in baselines
+// and SARIF output.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
 // LoadDir parses one directory as a single package under the given
 // import path — the fixture-corpus entry point used by the lint tests,
 // where the path is synthetic (e.g. an engine path for goroutine-rule
-// fixtures).
+// fixtures). Successive LoadDir calls on one Loader see each other's
+// packages: a fixture loaded under a state-package path is importable
+// by a later observer fixture, which is how the cross-package contract
+// rules are tested without loading the real module.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if l.fset == nil {
 		l.fset = token.NewFileSet()
@@ -79,7 +87,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &unit{path: importPath, name: "", primary: false}
+	u := &unit{path: importPath, name: "", primary: true}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue

@@ -10,12 +10,17 @@ import (
 // fileChecker runs every rule over one file.
 type fileChecker struct {
 	pkg      *Package
+	mod      *module // cross-package facts; nil under single-package Check
 	file     *ast.File
 	imports  map[string]string // identifier -> import path
+	opts     *Options
 	findings []Finding
 }
 
 func (fc *fileChecker) report(rule string, pos token.Pos, format string, args ...interface{}) {
+	if fc.opts.disabled(rule) {
+		return
+	}
 	fc.findings = append(fc.findings, Finding{
 		Rule: rule,
 		Pos:  fc.pkg.Fset.Position(pos),
@@ -28,15 +33,20 @@ func (fc *fileChecker) check() []Finding {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			fc.checkCall(n)
+			fc.checkReadonlyCall(n)
 		case *ast.GoStmt:
 			fc.checkGo(n)
 		case *ast.RangeStmt:
 			fc.checkRange(n)
 		case *ast.AssignStmt:
 			fc.checkFloatClock(n)
+			fc.checkReadonlyAssign(n)
+		case *ast.IncDecStmt:
+			fc.checkReadonlyIncDec(n)
 		}
 		return true
 	})
+	fc.checkSyncNames()
 	return fc.findings
 }
 

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the static-analysis interchange format GitHub
+// code scanning and most CI annotators consume. Only the slice of the
+// spec simlint needs is modelled; the structure follows
+// https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html.
+
+// SARIFSchema is the canonical 2.1.0 schema URI embedded in every log.
+const SARIFSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIFVersion is the SARIF spec version simlint emits.
+const SARIFVersion = "2.1.0"
+
+// srcRootID is the uriBaseId all artifact locations are relative to.
+const srcRootID = "SRCROOT"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult            `json:"results"`
+	ColumnKind         string                   `json:"columnKind"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string          `json:"id"`
+	ShortDescription sarifMessage    `json:"shortDescription"`
+	DefaultConfig    sarifRuleConfig `json:"defaultConfiguration"`
+}
+
+type sarifRuleConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as one SARIF 2.1.0 run. root, when
+// non-empty, is the source root: finding file names below it become
+// relative URIs against a SRCROOT base, which is what lets CI annotate
+// checkouts mounted at arbitrary paths.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	rules := make([]sarifRule, len(RuleIndex))
+	index := make(map[string]int, len(RuleIndex))
+	for i, ri := range RuleIndex {
+		rules[i] = sarifRule{
+			ID:               ri.Name,
+			ShortDescription: sarifMessage{Text: ri.Summary},
+			DefaultConfig:    sarifRuleConfig{Level: "error"},
+		}
+		index[ri.Name] = i
+	}
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:           "simlint",
+			InformationURI: "https://github.com/clustersim/clustersim#correctness-tooling",
+			Rules:          rules,
+		}},
+		Results:    []sarifResult{}, // empty array, not null: consumers require it
+		ColumnKind: "utf16CodeUnits",
+	}
+	if root != "" {
+		run.OriginalURIBaseIDs = map[string]sarifArtifact{
+			srcRootID: {URI: "file://" + filepath.ToSlash(root) + "/"},
+		}
+	}
+	for _, f := range findings {
+		uri, baseID := sarifURI(f.Pos.Filename, root)
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: baseID},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{Schema: SARIFSchema, Version: SARIFVersion, Runs: []sarifRun{run}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI relativizes a finding's file name against the source root.
+func sarifURI(filename, root string) (uri, baseID string) {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel), srcRootID
+		}
+	}
+	return "file://" + filepath.ToSlash(filename), ""
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Rule: RuleWallclock, Pos: token.Position{Filename: "/src/root/internal/core/clock.go", Line: 12, Column: 9},
+			Msg: "call to time.Now in simulation package"},
+		{Rule: RuleReadonly, Pos: token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 1},
+			Msg: "observer write"},
+	}
+}
+
+// TestWriteSARIFValid decodes the emitted log with a strict decoder and
+// checks the SARIF 2.1.0 invariants consumers rely on: schema URI,
+// version, a rules table covering every finding's ruleId with matching
+// ruleIndex, and physical locations with line/column regions.
+func TestWriteSARIFValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleFindings(), "/src/root"); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name           string `json:"name"`
+					InformationURI string `json:"informationUri"`
+					Rules          []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						DefaultConfiguration struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			OriginalURIBaseIDs map[string]struct {
+				URI string `json:"uri"`
+			} `json:"originalUriBaseIds"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+			ColumnKind string `json:"columnKind"`
+		} `json:"runs"`
+	}
+	dec := json.NewDecoder(&buf)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("emitted SARIF does not match the 2.1.0 shape: %v", err)
+	}
+
+	if log.Schema != SARIFSchema {
+		t.Errorf("$schema = %q", log.Schema)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "simlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if run.ColumnKind != "utf16CodeUnits" {
+		t.Errorf("columnKind = %q", run.ColumnKind)
+	}
+	if len(run.Tool.Driver.Rules) != len(Rules) {
+		t.Errorf("rules table has %d entries, want %d", len(run.Tool.Driver.Rules), len(Rules))
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if !knownRules[r.ID] {
+			t.Errorf("rules table lists unknown rule %q", r.ID)
+		}
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		if r.DefaultConfiguration.Level != "error" {
+			t.Errorf("rule %s level = %q", r.ID, r.DefaultConfiguration.Level)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("result ruleIndex %d does not point at ruleId %q", res.RuleIndex, res.RuleID)
+		}
+		if res.Message.Text == "" || len(res.Locations) != 1 {
+			t.Errorf("result for %s missing message or location", res.RuleID)
+		}
+		if res.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result for %s has no startLine", res.RuleID)
+		}
+	}
+
+	// Under-root findings are SRCROOT-relative; others keep absolute URIs.
+	in := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation
+	if in.URI != "internal/core/clock.go" || in.URIBaseID != "SRCROOT" {
+		t.Errorf("under-root artifact = %+v", in)
+	}
+	out := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation
+	if !strings.HasPrefix(out.URI, "file://") || out.URIBaseID != "" {
+		t.Errorf("out-of-root artifact = %+v", out)
+	}
+	if base, ok := run.OriginalURIBaseIDs["SRCROOT"]; !ok || !strings.HasPrefix(base.URI, "file://") {
+		t.Errorf("originalUriBaseIds = %+v", run.OriginalURIBaseIDs)
+	}
+}
+
+// TestWriteSARIFEmpty pins the no-findings shape: results must be an
+// empty array (never null — GitHub's upload rejects null) and the rules
+// table still advertises every rule.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty findings must serialize results as []:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "originalUriBaseIds") {
+		t.Errorf("rootless log must omit originalUriBaseIds")
+	}
+}

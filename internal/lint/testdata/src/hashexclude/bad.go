@@ -1,0 +1,34 @@
+// Package core is a fixture Config violating the hash-exclusion
+// contract in every way the rule distinguishes.
+package core
+
+import "clustersim/internal/telemetry"
+
+// Config's hash contract is audited against HashExcludedFields.
+type Config struct {
+	Procs int
+
+	// Observer-typed attachment without json:"-": attaching a collector
+	// would change the config hash.
+	Telemetry *telemetry.Collector // want:hashexclude
+
+	// Hash-excluded but not declared in the exclusion set.
+	Profile *telemetry.Collector `json:"-"` // want:hashexclude
+
+	// Attachment point (func) with no tag at all.
+	OnEvent func() // want:hashexclude
+
+	// Declared excluded below but still marshalled into the hash.
+	Label string // want:hashexclude
+
+	// Deliberate opt-in: a pointer with omitempty is the sanctioned way
+	// to let an optional block feed the hash (the fault-plan pattern).
+	Faults *FaultPlan `json:",omitempty"`
+}
+
+// FaultPlan is hashed when attached.
+type FaultPlan struct{ Seed int64 }
+
+// HashExcludedFields misses Profile, wrongly lists Label, and carries
+// one entry naming no field at all.
+var HashExcludedFields = []string{"Label", "Ghost"} // want:hashexclude

@@ -1,0 +1,22 @@
+// Package core is the clean counter-fixture for hashexclude: every
+// excluded field is declared, every attachment point is either excluded
+// or an explicit omitempty opt-in.
+package core
+
+import "clustersim/internal/telemetry"
+
+// Config holds the hash-exclusion contract.
+type Config struct {
+	Procs       int
+	ClusterSize int
+	Telemetry   *telemetry.Collector `json:"-"`
+	Sanitize    bool                 `json:"-"`
+	Tracer      interface{ Trace() } `json:"-"`
+	Faults      *FaultPlan           `json:",omitempty"`
+}
+
+// FaultPlan is hashed when attached.
+type FaultPlan struct{ Seed int64 }
+
+// HashExcludedFields is the declared exclusion set the rule audits.
+var HashExcludedFields = []string{"Telemetry", "Sanitize", "Tracer"}

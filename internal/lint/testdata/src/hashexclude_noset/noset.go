@@ -1,0 +1,9 @@
+// Package core declares a Config without the exclusion set: the hash
+// contract cannot be audited, which is itself a violation.
+package core
+
+// Config has excluded fields but no HashExcludedFields declaration.
+type Config struct { // want:hashexclude
+	Procs    int
+	Sanitize bool `json:"-"`
+}

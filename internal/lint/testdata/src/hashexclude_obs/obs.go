@@ -1,0 +1,7 @@
+// Package telemetry is an observer-package fixture: the hashexclude
+// rule must force any Config field of this type to carry json:"-",
+// since observers may never change the config hash.
+package telemetry
+
+// Collector stands in for the real telemetry collector.
+type Collector struct{ events int }

@@ -1,0 +1,20 @@
+// Package perf is an observer fixture: every statement below reaches
+// simulation state through a pointer and must be flagged.
+package perf
+
+import "clustersim/internal/stats"
+
+// Monitor stands in for an observer attached to a machine.
+type Monitor struct {
+	snap stats.Breakdown
+}
+
+// Tamper mutates the simulation's breakdown record in five ways.
+func (m *Monitor) Tamper(b *stats.Breakdown, t *stats.Table) {
+	b.CPU = 7              // want:readonly
+	b.SyncWait++           // want:readonly
+	b.Reset()              // want:readonly
+	b.Clear()              // want:readonly
+	*b = stats.Breakdown{} // want:readonly
+	t.Drop("mp3d")         // want:readonly
+}

@@ -1,0 +1,25 @@
+package perf
+
+import "clustersim/internal/stats"
+
+// Recorder shows the sanctioned observer patterns: copy state out,
+// mutate only observer-owned storage, call accessors freely.
+type Recorder struct {
+	perPE []stats.Breakdown
+	last  stats.Breakdown
+}
+
+// Observe copies and aggregates without ever writing through the
+// simulation's pointers.
+func (r *Recorder) Observe(b *stats.Breakdown, t *stats.Table) int64 {
+	r.last = *b    // copying out is the sanctioned pattern
+	r.last.CPU = 1 // a field of the observer's own copy
+	local := *b
+	local.SyncWait = 2
+	r.perPE = append(r.perPE, local)
+	r.perPE[0] = local.Plus(*b) // observer-owned slice of state values
+	if t.Lookup("mp3d") > 0 {   // pointer-receiver accessor: allowed
+		return b.Total()
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+// Package stats is a fixture standing in for clustersim/internal/stats:
+// a state type with direct and transitive mutators plus accessors — the
+// inputs to the readonly rule's mutating-method fixed point.
+package stats
+
+// Breakdown mirrors the shape of the real execution-time breakdown.
+type Breakdown struct {
+	CPU      int64
+	SyncWait int64
+}
+
+// Reset writes through the receiver: mutating.
+func (b *Breakdown) Reset() {
+	b.CPU = 0
+	b.SyncWait = 0
+}
+
+// Clear mutates only by calling Reset: the fixed point must mark it.
+func (b *Breakdown) Clear() { b.Reset() }
+
+// Total reads through a pointer receiver without writing: an accessor,
+// callable from observers.
+func (b *Breakdown) Total() int64 { return b.CPU + b.SyncWait }
+
+// Plus is a value-receiver combinator: it can only mutate its own copy.
+func (b Breakdown) Plus(o Breakdown) Breakdown {
+	b.CPU += o.CPU
+	b.SyncWait += o.SyncWait
+	return b
+}
+
+// Table is a map-carrying state type for the delete/clear checks.
+type Table struct {
+	ByName map[string]int64
+}
+
+// Drop mutates via the delete builtin.
+func (t *Table) Drop(name string) { delete(t.ByName, name) }
+
+// Lookup is an accessor over the same map.
+func (t *Table) Lookup(name string) int64 { return t.ByName[name] }

@@ -1,0 +1,28 @@
+// Package syncfix exercises the syncname rule on a local stand-in for
+// core.Machine: the rule matches the constructor names and, when type
+// information resolves the receiver, requires it to be a Machine.
+package syncfix
+
+// Barrier, Lock and Flag mirror the core synchronisation objects.
+type Barrier struct{}
+type Lock struct{}
+type Flag struct{}
+
+// Machine mirrors the constructor surface of core.Machine.
+type Machine struct{ n int }
+
+func (m *Machine) NewBarrierN(name string, n int) *Barrier { m.n++; return &Barrier{} }
+func (m *Machine) NewLock(name string) *Lock               { m.n++; return &Lock{} }
+func (m *Machine) NewFlag(name string) *Flag               { m.n++; return &Flag{} }
+
+const anon = ""
+
+// Bad passes empty and duplicate names; core.defineSync would panic on
+// the duplicate at run time.
+func Bad(m *Machine) {
+	m.NewLock("")        // want:syncname
+	m.NewBarrierN("", 4) // want:syncname
+	m.NewFlag(anon)      // want:syncname
+	m.NewLock("workq")
+	m.NewLock("workq") // want:syncname
+}

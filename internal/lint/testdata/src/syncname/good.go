@@ -1,0 +1,36 @@
+package syncfix
+
+import "fmt"
+
+// Good shows every sanctioned naming pattern: distinct constant names,
+// dynamic per-index names, the same name on distinct receivers, and the
+// same name in a different function (which typically means a different
+// machine).
+func Good(n int) {
+	m := &Machine{}
+	m.NewLock("errsum")
+	m.NewBarrierN("main", n)
+	m.NewFlag("ready")
+	for p := 0; p < n; p++ {
+		m.NewLock(fmt.Sprintf("q%d", p))
+	}
+	sub := func(mm *Machine) {
+		mm.NewLock("errsum")
+	}
+	sub(&Machine{})
+	m2 := &Machine{}
+	m2.NewLock("errsum")
+	m.NewFlag("") //simlint:allow syncname — directive placement check
+}
+
+// NotAMachine proves the rule keys on the receiver type when it
+// resolves: unrelated constructors with the same names pass.
+type registry struct{}
+
+func (r *registry) NewLock(name string) *Lock { return &Lock{} }
+
+func Unrelated(r *registry) {
+	r.NewLock("")
+	r.NewLock("x")
+	r.NewLock("x")
+}

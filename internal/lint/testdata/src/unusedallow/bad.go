@@ -1,0 +1,22 @@
+// Package harness exercises the unused-allow audit: directives that
+// suppress nothing are themselves findings.
+package harness
+
+// Calm is clean, so the directive in its doc comment is stale.
+//
+//simlint:allow wallclock // want:unusedallow
+func Calm() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += i //simlint:allow maprange // want:unusedallow
+	}
+	return total
+}
+
+// Mixed carries one live and one stale rule on a single directive:
+// only the stale one is reported.
+func Mixed() {
+	ch := make(chan struct{})
+	go func() { close(ch) }() //simlint:allow goroutine maprange // want:unusedallow
+	<-ch
+}

@@ -361,7 +361,7 @@ func (c *Collector) Reset() {
 		c.regions[i] = regionAccum{}
 	}
 	c.spill = regionAccum{}
-	for _, st := range c.lines { //simlint:allow maprange — order-independent zeroing
+	for _, st := range c.lines {
 		st.misses = ClassCounts{}
 		st.stall = 0
 		st.invals = 0

@@ -181,7 +181,7 @@ func (c *Collector) hotLines(n int) []LineReport {
 		return nil
 	}
 	var out []LineReport
-	for num, st := range c.lines { //simlint:allow maprange — fully sorted below
+	for num, st := range c.lines {
 		if st.misses.Total() == 0 {
 			continue
 		}
