@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sarif sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
+.PHONY: all build vet lint simlint sarif sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite obs-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
 
 all: build lint test
 
@@ -78,6 +78,45 @@ resume-suite: build
 	$(RESUME_OUT)/experiments -procs 16 -size test -state $(RESUME_OUT)/state fig2 > $(RESUME_OUT)/resumed.txt
 	diff -u $(RESUME_OUT)/clean.txt $(RESUME_OUT)/resumed.txt
 	@echo "resume-suite: resumed tables byte-identical to uninterrupted run"
+
+# Live-observability smoke test: run a journal-free fig2 sweep with the
+# metrics/status endpoints served (-serve) and the structured run-event
+# log written (-events), poll /status until the sweep reports done,
+# then validate the Prometheus exposition and the events JSONL with the
+# repo's own tooling (tracetool metrics / tracetool events). The -linger
+# window keeps the endpoints up after the last point so the scrapes
+# race nothing.
+OBS_OUT ?= /tmp/clustersim-obs
+OBS_ADDR ?= 127.0.0.1:19095
+obs-suite: build
+	@rm -rf $(OBS_OUT) && mkdir -p $(OBS_OUT)
+	$(GO) build -o $(OBS_OUT)/experiments ./cmd/experiments
+	$(GO) build -o $(OBS_OUT)/tracetool ./cmd/tracetool
+	@$(OBS_OUT)/experiments -procs 16 -size test -serve $(OBS_ADDR) \
+		-events $(OBS_OUT)/sweep.events.jsonl -linger 30s fig2 \
+		> $(OBS_OUT)/tables.txt 2> $(OBS_OUT)/run.log & pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	state=; for i in $$(seq 1 150); do \
+		state=$$(curl -sf http://$(OBS_ADDR)/status \
+			| sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n 1); \
+		if [ "$$state" = "done" ] || [ "$$state" = "failed" ]; then break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ "$$state" != "done" ]; then \
+		echo "obs-suite: sweep never reached done (state=$$state)"; \
+		cat $(OBS_OUT)/run.log; exit 1; fi; \
+	curl -sf http://$(OBS_ADDR)/metrics > $(OBS_OUT)/metrics.txt; \
+	curl -sf http://$(OBS_ADDR)/status > $(OBS_OUT)/status.json; \
+	curl -sf "http://$(OBS_ADDR)/events?point=ocean-c4-inf" > $(OBS_OUT)/events.tail.jsonl; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; true
+	$(OBS_OUT)/tracetool metrics $(OBS_OUT)/metrics.txt
+	grep -q 'clustersim_sweep_points_total{state="done"}' $(OBS_OUT)/metrics.txt
+	grep -q '"schema": "clustersim/status/v1"' $(OBS_OUT)/status.json
+	grep -q '"state": "done"' $(OBS_OUT)/status.json
+	test -s $(OBS_OUT)/events.tail.jsonl
+	$(OBS_OUT)/tracetool events $(OBS_OUT)/sweep.events.jsonl > $(OBS_OUT)/events.txt
+	grep -q 'sweep-done' $(OBS_OUT)/events.txt
+	@echo "obs-suite: /metrics valid, /status done, run-event log renders"
 
 profile-golden: build
 	@mkdir -p $(PROFILE_OUT)

@@ -26,6 +26,10 @@
 //	                  lock contention, balanced-ideal speedup) and print
 //	                  the flat report; render later with
 //	                  `tracetool critpath`
+//	-serve :9090      serve live observability endpoints while the run
+//	                  executes (/metrics Prometheus exposition, /status
+//	                  JSON, /events tail, /debug/pprof); gauges advance
+//	                  on the sampling grid (README "Live observability")
 //
 // Host-side performance flags (see README "Simulator performance"):
 //
@@ -46,12 +50,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
 	"clustersim/internal/critpath"
 	"clustersim/internal/fault"
+	"clustersim/internal/obs"
 	"clustersim/internal/perf"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
@@ -83,6 +89,7 @@ func main() {
 		profOut  = flag.String("profile", "", "write a sharing-profile JSON file and print the flat report")
 		topLines = flag.Int("top", 10, "hot cache lines to rank in the sharing profile")
 		critOut  = flag.String("critpath", "", "write a critical-path analysis JSON file and print the flat report")
+		serve    = flag.String("serve", "", "serve live observability endpoints (/metrics, /status, /events, /debug/pprof) on this address while the run executes")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
@@ -145,19 +152,18 @@ func main() {
 		fatal(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
 	}
 
-	// Any observability flag attaches a collector; -progress without an
-	// explicit interval gets a coarse default grid.
+	// Any observability flag attaches a collector. -progress and -serve
+	// both ride the interval sampler, so either one without an explicit
+	// -sample gets the default grid (see effectiveSampleInterval).
+	sampleEvery := effectiveSampleInterval(*sample, *progress || *serve != "")
 	var col *telemetry.Collector
-	if *traceOut != "" || *jsonOut || *sample > 0 || *progress {
+	if *traceOut != "" || *jsonOut || sampleEvery > 0 {
 		col = telemetry.New()
-		if *progress && *sample == 0 {
-			*sample = telemetry.SampleInterval(0)
-		}
 		if *progress {
 			col.SetProgress(os.Stderr, *app)
 		}
 		cfg.Telemetry = col
-		cfg.SampleEvery = *sample
+		cfg.SampleEvery = sampleEvery
 	}
 	var prof *profile.Collector
 	if *profOut != "" {
@@ -178,6 +184,40 @@ func main() {
 		cfg.Perf = mon
 	}
 
+	// -serve exposes the live observability plane for the single run:
+	// counters and the virtual-time gauge advance on the telemetry
+	// sampler's grid, /status tracks the one point, /events carries its
+	// span. Wall-clock-side only — the run's Result and config hash are
+	// byte-identical with or without it.
+	var sweep *obs.Sweep
+	pointName := fmt.Sprintf("%s-c%d-%s", *app, *cluster, cacheLabel(*cacheKB))
+	if *serve != "" {
+		runID := fmt.Sprintf("clustersim-%d", os.Getpid())
+		reg := obs.NewRegistry()
+		evlog := obs.NewLog(nil, runID)
+		sweep = obs.NewSweep(runID, reg, evlog)
+		sweep.SetIdentity(*app, *procs, sz.String())
+		sweep.SetTotalPoints(1)
+		vt := reg.Gauge("clustersim_run_virtual_cycles", "Simulated time of the latest telemetry sample.")
+		refs := reg.Counter("clustersim_run_references_total", "Memory references accumulated over telemetry samples.")
+		rdMiss := reg.Counter("clustersim_run_read_misses_total", "Read misses accumulated over telemetry samples.")
+		merges := reg.Counter("clustersim_run_merges_total", "Fill merges accumulated over telemetry samples.")
+		invals := reg.Counter("clustersim_run_invalidations_total", "Invalidations sent, accumulated over telemetry samples.")
+		col.SetOnSample(func(at telemetry.Clock, t telemetry.ClusterSample) {
+			vt.Set(float64(at))
+			refs.Add(float64(t.Refs.References()))
+			rdMiss.Add(float64(t.Refs.ReadMisses))
+			merges.Add(float64(t.Refs.Merges))
+			invals.Add(float64(t.Coh.InvalidationsSent))
+		})
+		srv, err := obs.NewServer(reg, sweep, evlog).Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clustersim: observability endpoints on %s\n", srv.URL())
+	}
+
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -188,10 +228,16 @@ func main() {
 		}
 		defer stop()
 	}
+	sweep.PointStarted(pointName, *app, *cluster, cacheLabel(*cacheKB))
+	// Wall timing feeds the observability plane only, never the machine.
+	start := time.Now() //simlint:allow wallclock
 	res, err := w.Run(cfg, sz)
 	if err != nil {
+		sweep.PointFailed(pointName, *app, *cluster, cacheLabel(*cacheKB), err.Error())
 		fatal(err)
 	}
+	sweep.PointDone(pointName, time.Since(start), int64(res.ExecTime)) //simlint:allow wallclock
+	sweep.Finish(0)
 	if *memprofile != "" {
 		if err := perf.WriteHeapProfile(*memprofile); err != nil {
 			fatal(err)
@@ -295,6 +341,30 @@ func writeTrace(path string, col *telemetry.Collector, app, size string, cfg cor
 			"app": app, "size": size, "configHash": hash,
 		})
 	})
+}
+
+// effectiveSampleInterval resolves the telemetry sampling grid from the
+// flags: an explicit positive -sample wins; otherwise any feature that
+// rides the sampler (-progress, -serve) gets the default interval; with
+// neither, sampling stays off. Centralised so every sampler consumer
+// defaults the same way (pinned by TestEffectiveSampleInterval).
+func effectiveSampleInterval(sample int64, wantSampling bool) int64 {
+	if sample > 0 {
+		return sample
+	}
+	if wantSampling {
+		return telemetry.SampleInterval(0)
+	}
+	return 0
+}
+
+// cacheLabel names a per-processor cache size as point names and
+// /status rows spell it (matching the experiments artifact stems).
+func cacheLabel(kb int) string {
+	if kb == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%dk", kb)
 }
 
 func parseSize(s string) (apps.Size, error) {

@@ -18,6 +18,14 @@
 // between points (exit code 3); -point-timeout aborts a wedged point
 // (exit code 4); -fault-* flags inject the deterministic fault plan.
 //
+// Observability: -serve exposes live endpoints while the sweep runs
+// (/metrics Prometheus exposition, /status sweep JSON, /events run-event
+// tail, /debug/pprof); -events appends a structured JSONL run-event log
+// (schema clustersim/events/v1); -linger keeps the endpoints up after
+// the suite finishes so scrapes and smoke tests can read final state.
+// All of it is wall-clock-side: results and config hashes are
+// byte-identical with or without these flags.
+//
 // Exit codes (also in README "Exit codes" and `experiments -h`):
 //
 //	0  every requested experiment completed
@@ -33,9 +41,13 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+	"time"
+
 	"clustersim/internal/apps"
 	"clustersim/internal/experiments"
 	"clustersim/internal/fault"
+	"clustersim/internal/obs"
 	"clustersim/internal/perf"
 )
 
@@ -66,6 +78,10 @@ func realMain() int {
 		timeout  = flag.Duration("point-timeout", 0, "wall-clock watchdog per simulation point (0 = off); a hung point is recorded as failed and the process exits 4")
 		retry    = flag.Bool("retry-failed", false, "re-run points the journal records as failed")
 		stopN    = flag.Int("stop-after", 0, "interrupt the suite after N freshly simulated points (resume testing; 0 = off)")
+
+		serveAddr = flag.String("serve", "", "serve live observability endpoints (/metrics, /status, /events, /debug/pprof) on this address, e.g. :9090")
+		eventsOut = flag.String("events", "", "append structured run events (JSONL, schema clustersim/events/v1) to this file")
+		linger    = flag.Duration("linger", 0, "keep -serve endpoints up this long after the suite finishes")
 
 		faultSeed    = flag.Int64("fault-seed", 1, "fault plan seed (with any -fault-* probability set)")
 		faultNack    = flag.Int("fault-nack", 0, "directory-busy NACK probability per 1000 requests")
@@ -166,6 +182,57 @@ func realMain() int {
 			"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table6", "table7",
 			"ext-assoc", "ext-org", "ext-scaling", "ext-faults"}
 	}
+
+	// Live observability plane (-serve / -events). Strictly wall-clock-
+	// side: the sweep only observes the suite, so tables, Result JSON and
+	// config hashes are byte-identical with or without it.
+	runID := fmt.Sprintf("experiments-%d", os.Getpid())
+	var (
+		reg   *obs.Registry
+		evlog *obs.Log
+		sweep *obs.Sweep
+	)
+	if *eventsOut != "" {
+		l, err := obs.OpenLog(*eventsOut, runID)
+		if err != nil {
+			return usageError(err)
+		}
+		defer l.Close()
+		evlog = l
+	}
+	if *serveAddr != "" {
+		reg = obs.NewRegistry()
+		if evlog == nil {
+			// Memory-only tail so GET /events works without -events.
+			evlog = obs.NewLog(nil, runID)
+		}
+	}
+	if reg != nil || evlog != nil {
+		sweep = obs.NewSweep(runID, reg, evlog)
+		sweep.SetIdentity(strings.Join(what, " "), *procs, *size)
+		opt.Obs = sweep
+	}
+	if *serveAddr != "" {
+		srv, err := obs.NewServer(reg, sweep, evlog).Start(*serveAddr)
+		if err != nil {
+			return usageError(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: observability endpoints on %s\n", srv.URL())
+	}
+	// lingerThenSummary runs on every return path below: the summary line
+	// (computed-vs-replayed split) always prints, and with -serve the
+	// endpoints stay up for -linger so scrapes can read the final state.
+	lingerThenSummary := func(suite *experiments.Suite, failed int) {
+		fmt.Fprintf(os.Stderr, "experiments: %d points computed, %d replayed from journal, %d experiments failed\n",
+			suite.Fresh(), suite.Replayed(), failed)
+		if *serveAddr != "" && *linger > 0 {
+			// Harness-side wait so external scrapers can observe the final
+			// /status and /metrics; never touches simulated state.
+			time.Sleep(*linger) //simlint:allow wallclock
+		}
+	}
+
 	// One suite memoizes simulation points shared between experiments
 	// (e.g. Figures 4-8 and Tables 3, 6). Experiments continue past an
 	// individual failure so one broken point cannot sink a long sweep;
@@ -185,11 +252,15 @@ func realMain() int {
 			if opt.Journal != nil {
 				fmt.Fprintf(os.Stderr, "experiments: resume with the same arguments and -state %s\n", opt.Journal.Dir())
 			}
+			sweep.Interrupted()
+			lingerThenSummary(suite, failed)
 			return experiments.ExitInterrupted
 		}
 		failed++
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 	}
+	sweep.Finish(failed)
+	lingerThenSummary(suite, failed)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(what))
 		return experiments.ExitFailures

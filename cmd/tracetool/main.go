@@ -37,6 +37,14 @@
 //
 //	tracetool bench BENCH_a.json
 //	tracetool bench BENCH_a.json BENCH_b.json
+//
+// Render a run-event log (the JSONL written by experiments -events),
+// optionally filtered by point or kind, or live-tailed with -f; and
+// validate a Prometheus exposition scraped from a -serve endpoint:
+//
+//	tracetool events sweep.events.jsonl
+//	tracetool events -point ocean-c4-16k -f sweep.events.jsonl
+//	curl -s localhost:9090/metrics | tracetool metrics -
 package main
 
 import (
@@ -84,13 +92,17 @@ func run(args []string, out io.Writer) error {
 		return critpathCmd(args[1:], out)
 	case "bench":
 		return benchCmd(args[1:], out)
+	case "events":
+		return eventsCmd(args[1:], out)
+	case "metrics":
+		return metricsCmd(args[1:], out)
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|critpath|bench [flags]")
+	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|critpath|bench|events|metrics [flags]")
 }
 
 // benchCmd renders one perfbench report as a table, or the regression

@@ -6,9 +6,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"clustersim/internal/bench"
 	"clustersim/internal/critpath"
+	"clustersim/internal/obs"
 	"clustersim/internal/profile"
 	"clustersim/internal/stats"
 )
@@ -44,6 +46,14 @@ func TestBadInputsError(t *testing.T) {
 		{"critpath", garbage},
 		{"critpath"},                            // no input at all
 		{"critpath", garbage, garbage, garbage}, // too many
+		{"events", missing},
+		{"events", garbage},
+		{"events"},                   // no input at all
+		{"events", garbage, garbage}, // too many
+		{"metrics", missing},
+		{"metrics", garbage},
+		{"metrics"},                   // no input at all
+		{"metrics", garbage, garbage}, // too many
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -247,5 +257,103 @@ func TestBenchRenderAndDiff(t *testing.T) {
 	}
 	if !strings.Contains(diff.String(), "simCycles") {
 		t.Errorf("diff does not name the drifted counter:\n%s", diff.String())
+	}
+}
+
+func writeTestEvents(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l := obs.NewLog(f, "test-run")
+	at := time.Unix(100, 0)
+	l.SetClock(func() time.Time { at = at.Add(time.Second); return at })
+	l.Emit(obs.Event{Kind: obs.EventSweepStart})
+	l.Emit(obs.Event{Kind: obs.EventPointStart, Span: obs.SpanBegin, Point: "fft-c4-inf", App: "fft", Cluster: 4, Cache: "inf"})
+	l.Emit(obs.Event{Kind: obs.EventPointDone, Span: obs.SpanEnd, Point: "fft-c4-inf", App: "fft", Cluster: 4, Cache: "inf",
+		VirtCycles: 12345, DurNS: int64(2 * time.Second)})
+	l.Emit(obs.Event{Kind: obs.EventPointReplay, Point: "lu-c1-inf", App: "lu", Cluster: 1, Cache: "inf", VirtCycles: 99})
+	l.Emit(obs.Event{Kind: obs.EventSweepDone, Detail: "1 points computed, 1 replayed from journal, 0 failed"})
+}
+
+// `tracetool events log.jsonl` renders every event; -point and -kind
+// narrow the rows.
+func TestEventsRenderAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	writeTestEvents(t, path)
+
+	var all bytes.Buffer
+	if err := run([]string{"events", path}, &all); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep-start", "fft-c4-inf", "12345 cycles", "point-replay", "sweep-done"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, all.String())
+		}
+	}
+
+	var filtered bytes.Buffer
+	if err := run([]string{"events", "-point", "lu-c1-inf", path}, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(filtered.String(), "fft-c4-inf") || !strings.Contains(filtered.String(), "lu-c1-inf") {
+		t.Errorf("-point filter leaked other points:\n%s", filtered.String())
+	}
+
+	var kinds bytes.Buffer
+	if err := run([]string{"events", "-kind", "point-done", path}, &kinds); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(kinds.String(), "sweep-start") || !strings.Contains(kinds.String(), "point-done") {
+		t.Errorf("-kind filter leaked other kinds:\n%s", kinds.String())
+	}
+}
+
+// An events file from a different (or future) schema is rejected, not
+// half-rendered.
+func TestEventsRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	if err := os.WriteFile(path, []byte(`{"schema":"clustersim/events/v99","seq":1,"kind":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"events", path}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "v99") {
+		t.Errorf("unknown schema error = %v, want it to name the schema", err)
+	}
+}
+
+// `tracetool metrics` accepts a real registry render and rejects a
+// truncated one.
+func TestMetricsValidatesExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total", "A demo counter.", obs.L("kind", "x")).Add(3)
+	reg.Gauge("demo_gauge", "A demo gauge.").Set(1.5)
+	reg.Histogram("demo_seconds", "A demo histogram.", []float64{1, 10}).Observe(4)
+	var expo bytes.Buffer
+	reg.WritePrometheus(&expo)
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	if err := os.WriteFile(good, expo.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"metrics", good}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 metric families") {
+		t.Errorf("verdict missing family count:\n%s", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("# TYPE demo_total counter\ndemo_total not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"metrics", bad}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed exposition accepted")
 	}
 }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"clustersim/internal/apps"
+	"clustersim/internal/apps/registry"
+	"clustersim/internal/obs"
+	"clustersim/internal/telemetry"
+)
+
+// TestObsReadOnly is the acceptance check for the observability plane's
+// hard constraint: attaching a Sweep (with a live registry and event
+// log) to the suite must leave every point's Result JSON and config
+// hash byte-identical to an unobserved run. The sweep is wall-clock
+// instrumentation only — it can watch the simulation but never touch it.
+func TestObsReadOnly(t *testing.T) {
+	for _, w := range registry.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(sweep *obs.Sweep) ([]byte, string) {
+				t.Helper()
+				opt := Options{Procs: 8, Size: apps.SizeTest, Out: io.Discard, Obs: sweep}
+				s := NewSuite(opt)
+				res, err := s.Run(w.Name, 2, 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hash, err := telemetry.HashConfig(opt.config(2, 16))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, hash
+			}
+			plain, hash1 := run(nil)
+			sweep := obs.NewSweep("test", obs.NewRegistry(), obs.NewLog(nil, "test"))
+			observed, hash2 := run(sweep)
+			if hash1 != hash2 {
+				t.Errorf("obs changed the config hash: %s vs %s", hash1, hash2)
+			}
+			if !bytes.Equal(plain, observed) {
+				t.Errorf("obs perturbed the run:\n plain:    %s\n observed: %s",
+					diffHint(plain, observed), diffHint(observed, plain))
+			}
+			doc := sweep.Status()
+			if doc.Counts.Done != 1 || len(doc.Points) != 1 {
+				t.Errorf("sweep did not record the point: %+v", doc.Counts)
+			}
+		})
+	}
+}
+
+// TestObsJournalReplaySplit drives the suite over a journal twice with
+// a sweep attached: the first pass computes, the second replays, and
+// the sweep's state machine and the suite's fresh/replayed counters
+// both report the split.
+func TestObsJournalReplaySplit(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPass := func() (*Suite, *obs.Sweep) {
+		sweep := obs.NewSweepAt("pass", obs.NewRegistry(), nil,
+			func() time.Time { return time.Unix(0, 0) })
+		s := NewSuite(Options{Procs: 8, Size: apps.SizeTest, Out: io.Discard, Journal: j, Obs: sweep})
+		if _, err := s.Run("lu", 2, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run("fft", 2, 0); err != nil {
+			t.Fatal(err)
+		}
+		return s, sweep
+	}
+	s1, sw1 := runPass()
+	if s1.Fresh() != 2 || s1.Replayed() != 0 {
+		t.Errorf("first pass: fresh=%d replayed=%d, want 2/0", s1.Fresh(), s1.Replayed())
+	}
+	if c := sw1.Status().Counts; c.Done != 2 || c.Replayed != 0 {
+		t.Errorf("first pass sweep counts: %+v", c)
+	}
+	if doc := sw1.Status(); doc.Journal.Misses != 2 || doc.Journal.Hits != 0 {
+		t.Errorf("first pass journal stats: %+v", doc.Journal)
+	}
+
+	s2, sw2 := runPass()
+	if s2.Fresh() != 0 || s2.Replayed() != 2 {
+		t.Errorf("second pass: fresh=%d replayed=%d, want 0/2", s2.Fresh(), s2.Replayed())
+	}
+	doc := sw2.Status()
+	if c := doc.Counts; c.Replayed != 2 || c.Done != 0 {
+		t.Errorf("second pass sweep counts: %+v", c)
+	}
+	if doc.Journal.Hits != 2 || doc.Journal.Misses != 0 {
+		t.Errorf("second pass journal stats: %+v", doc.Journal)
+	}
+	for _, p := range doc.Points {
+		if p.State != obs.PointReplayed || p.VirtCycles <= 0 {
+			t.Errorf("replayed point row: %+v", p)
+		}
+	}
+}

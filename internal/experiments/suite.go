@@ -20,6 +20,7 @@ import (
 	"clustersim/internal/core"
 	"clustersim/internal/critpath"
 	"clustersim/internal/fault"
+	"clustersim/internal/obs"
 	"clustersim/internal/profile"
 	"clustersim/internal/telemetry"
 )
@@ -105,6 +106,12 @@ type Options struct {
 	// RetryFailed re-runs points the journal has recorded as failed;
 	// by default a journalled failure is reported without re-running.
 	RetryFailed bool
+
+	// Obs, when non-nil, receives the live-observability hooks: per-point
+	// state transitions for /status, sweep-level metrics, and structured
+	// run events. The sweep is strictly wall-clock-side — it never feeds
+	// simulated state or the config hash (pinned by TestObsReadOnly).
+	Obs *obs.Sweep
 }
 
 // DefaultOptions is the paper's machine at the scaled default problem
@@ -140,9 +147,22 @@ type runKey struct {
 // Suite memoizes simulation runs so tables that share configurations
 // (e.g. Figure 4 and Table 6) simulate each point once.
 type Suite struct {
-	Opt   Options
-	runs  map[runKey]*core.Result
-	fresh int // points actually simulated (not replayed), for StopAfter
+	Opt      Options
+	runs     map[runKey]*core.Result
+	fresh    int // points actually simulated (not replayed), for StopAfter
+	replayed int // points served from the journal
+}
+
+// Fresh is how many points this suite actually simulated.
+func (s *Suite) Fresh() int { return s.fresh }
+
+// Replayed is how many points this suite served from the journal.
+func (s *Suite) Replayed() int { return s.replayed }
+
+// pointName is a point's stable identity across the observability
+// plane: events, /status rows, and artifact file stems all share it.
+func (k runKey) pointName() string {
+	return fmt.Sprintf("%s-c%d-%s", k.app, k.clusterSize, cacheName(k.cacheKB))
 }
 
 // NewSuite creates a suite with the given options.
@@ -183,13 +203,18 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 				fmt.Fprintf(s.Opt.Progress, "replayed %s cluster=%d cache=%s from journal: exec %d cycles\n",
 					app, clusterSize, cacheName(cacheKB), res.ExecTime)
 			}
+			s.replayed++
+			s.Opt.Obs.PointReplayed(key.pointName(), app, clusterSize, cacheName(cacheKB), int64(res.ExecTime))
 			s.runs[key] = res
 			return res, nil
 		}
+		s.Opt.Obs.JournalMiss()
 		if !s.Opt.RetryFailed {
 			if fr, ok, err := s.Opt.Journal.LoadFailure(app, sizeName, clusterSize, cacheKB, hash); err != nil {
 				return nil, err
 			} else if ok {
+				s.Opt.Obs.PointFailed(key.pointName(), app, clusterSize, cacheName(cacheKB),
+					"journalled as failed: "+fr.Error)
 				return nil, fmt.Errorf("%s cluster=%d cache=%s: journalled as failed (re-run with -retry-failed to attempt again): %s",
 					app, clusterSize, cacheName(cacheKB), fr.Error)
 			}
@@ -221,11 +246,13 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		timer := s.armWatchdog(key, sizeName, hash)
 		defer timer.Stop()
 	}
+	s.Opt.Obs.PointStarted(key.pointName(), app, clusterSize, cacheName(cacheKB))
 	// Wall timing here feeds the progress line and run manifest only,
 	// never simulated state.
 	start := time.Now() //simlint:allow wallclock
 	res, err := runPoint(w, cfg, s.Opt.Size)
 	if err != nil {
+		s.Opt.Obs.PointFailed(key.pointName(), app, clusterSize, cacheName(cacheKB), err.Error())
 		pointErr := fmt.Errorf("%s cluster=%d cache=%s: %w", app, clusterSize, cacheName(cacheKB), err)
 		if s.Opt.Journal != nil {
 			if jerr := s.Opt.Journal.StoreFailure(FailureRecord{
@@ -238,7 +265,9 @@ func (s *Suite) Run(app string, clusterSize, cacheKB int) (*core.Result, error) 
 		return nil, pointErr
 	}
 	s.fresh++
-	if err := s.export(key, cfg, col, prof, crit, res, time.Since(start)); err != nil { //simlint:allow wallclock
+	wall := time.Since(start) //simlint:allow wallclock
+	s.Opt.Obs.PointDone(key.pointName(), wall, int64(res.ExecTime))
+	if err := s.export(key, cfg, col, prof, crit, res, wall); err != nil {
 		return nil, err
 	}
 	if s.Opt.Journal != nil {
@@ -274,6 +303,7 @@ func runPoint(w apps.Runner, cfg core.Config, size apps.Size) (res *core.Result,
 // runtime timer goroutine and must not touch suite state.
 func (s *Suite) armWatchdog(key runKey, sizeName, hash string) *time.Timer {
 	j := s.Opt.Journal
+	sweep := s.Opt.Obs
 	timeout := s.Opt.PointTimeout
 	rec := FailureRecord{
 		App: key.app, Size: sizeName, ClusterSize: key.clusterSize, CacheKB: key.cacheKB,
@@ -285,6 +315,9 @@ func (s *Suite) armWatchdog(key runKey, sizeName, hash string) *time.Timer {
 	return time.AfterFunc(timeout, func() { //simlint:allow wallclock
 		fmt.Fprintf(os.Stderr, "experiments: watchdog: %s cluster=%d cache=%s still running after %v; aborting\n",
 			key.app, key.clusterSize, cacheName(key.cacheKB), timeout)
+		// Last event of the log: the timer goroutine owns no suite state,
+		// and the sweep's hooks are safe from any goroutine.
+		sweep.PointTimeout(key.pointName(), timeout)
 		if j != nil {
 			if err := j.StoreFailure(rec); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: watchdog:", err)

@@ -186,26 +186,30 @@ func TestTreeClean(t *testing.T) {
 }
 
 // TestSeededObserverMutation is the end-to-end acceptance check for the
-// readonly contract: planting a stats write in internal/perf — against
-// the real stats package source — must produce a readonly finding.
+// readonly contract: planting a stats write in an observer package —
+// against the real stats package source — must produce a readonly
+// finding. Every package in the observer set is seeded in turn, so a
+// package silently dropping out of the set fails the test.
 func TestSeededObserverMutation(t *testing.T) {
-	root := t.TempDir()
-	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module clustersim\n\ngo 1.21\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	for _, sub := range []string{"internal/stats", "internal/perf"} {
-		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
-			t.Fatal(err)
-		}
-	}
-	realStats, err := os.ReadFile(filepath.Join("..", "stats", "stats.go"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(root, "internal/stats/stats.go"), realStats, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	seed := `package perf
+	for _, pkg := range []string{"perf", "obs"} {
+		t.Run(pkg, func(t *testing.T) {
+			root := t.TempDir()
+			if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module clustersim\n\ngo 1.21\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for _, sub := range []string{"internal/stats", "internal/" + pkg} {
+				if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+					t.Fatal(err)
+				}
+			}
+			realStats, err := os.ReadFile(filepath.Join("..", "stats", "stats.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(root, "internal/stats/stats.go"), realStats, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			seed := `package ` + pkg + `
 
 import "clustersim/internal/stats"
 
@@ -214,21 +218,23 @@ func Skew(b *stats.Breakdown) {
 	b.CPU += 1
 }
 `
-	if err := os.WriteFile(filepath.Join(root, "internal/perf/seed.go"), []byte(seed), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := (&Loader{}).Load(root, []string{"./..."})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var hits []Finding
-	for _, f := range CheckModule(pkgs, nil) {
-		if f.Rule == RuleReadonly {
-			hits = append(hits, f)
-		}
-	}
-	if len(hits) != 1 || !strings.Contains(hits[0].Msg, "stats.Breakdown") {
-		t.Fatalf("seeded stats write in internal/perf: want one readonly finding on stats.Breakdown, got %v", hits)
+			if err := os.WriteFile(filepath.Join(root, "internal/"+pkg+"/seed.go"), []byte(seed), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pkgs, err := (&Loader{}).Load(root, []string{"./..."})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hits []Finding
+			for _, f := range CheckModule(pkgs, nil) {
+				if f.Rule == RuleReadonly {
+					hits = append(hits, f)
+				}
+			}
+			if len(hits) != 1 || !strings.Contains(hits[0].Msg, "stats.Breakdown") {
+				t.Fatalf("seeded stats write in internal/%s: want one readonly finding on stats.Breakdown, got %v", pkg, hits)
+			}
+		})
 	}
 }
 
@@ -276,8 +282,10 @@ func TestIsObserverPackage(t *testing.T) {
 		"clustersim/internal/perf":          true,
 		"clustersim/internal/critpath":      true,
 		"clustersim/internal/critpath/sub":  true,
+		"clustersim/internal/obs":           true,
 		"clustersim/internal/core":          false,
 		"clustersim/internal/telemetryfake": false,
+		"clustersim/internal/observatory":   false,
 	}
 	for path, want := range cases {
 		if got := IsObserverPackage(path); got != want {

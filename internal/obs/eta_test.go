@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The ETA model under a fake clock: mean completed cost times the
+// outstanding count, with replays and failures advancing completion
+// for free.
+func TestETACompletedCostModel(t *testing.T) {
+	now := time.Unix(0, 0)
+	e := NewETAAt(func() time.Time { return now })
+	e.SetTotal(10)
+
+	// Nothing computed yet: elapsed only, no projection.
+	now = now.Add(5 * time.Second)
+	est := e.Estimate()
+	if est.HaveRemaining || est.ElapsedMS != 5000 || est.TotalPoints != 10 {
+		t.Fatalf("pre-sample estimate = %+v", est)
+	}
+
+	e.Completed(2 * time.Second)
+	e.Completed(4 * time.Second)
+	est = e.Estimate()
+	if !est.HaveRemaining || est.MeanPointMS != 3000 {
+		t.Fatalf("mean = %+v, want 3000ms", est)
+	}
+	if est.RemainingMS != 8*3000 {
+		t.Errorf("remaining = %dms, want 8 points x 3000ms", est.RemainingMS)
+	}
+
+	// A replay completes a point without contributing a cost sample.
+	e.CompletedFree()
+	est = e.Estimate()
+	if est.MeanPointMS != 3000 || est.RemainingMS != 7*3000 || est.DonePoints != 3 {
+		t.Errorf("after free completion: %+v", est)
+	}
+}
+
+// Points discovered beyond the declared total grow the total instead of
+// producing a negative remaining count.
+func TestETATotalGrowsWithSightings(t *testing.T) {
+	now := time.Unix(0, 0)
+	e := NewETAAt(func() time.Time { return now })
+	e.SetTotal(1)
+	for i := 0; i < 3; i++ {
+		e.Saw()
+		e.Completed(time.Second)
+	}
+	est := e.Estimate()
+	if est.TotalPoints != 3 || est.RemainingMS != 0 {
+		t.Errorf("estimate = %+v, want total grown to 3 and nothing remaining", est)
+	}
+}

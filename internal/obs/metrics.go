@@ -1,0 +1,343 @@
+// Package obs is the simulator's *live* observability plane. Where
+// telemetry, the sharing profiler, the host performance monitor and the
+// critical-path analyzer all produce post-hoc, per-run artifacts, obs
+// answers "what is the fleet doing right now": a dependency-free
+// metrics registry (counters, gauges, histograms with deterministic
+// label ordering), an embeddable HTTP server exposing the registry in
+// Prometheus text exposition format 0.0.4 plus a JSON /status document
+// and a streamed /events tail, and a structured JSONL run-event log
+// (schema clustersim/events/v1).
+//
+// Everything in this package is wall-clock-side harness state and lives
+// strictly outside the simulation: obs types are never attached to
+// core.Config, never read or write simulation state, and a run with the
+// observability plane enabled produces Result JSON and config hashes
+// byte-identical to an unmonitored run (pinned by TestObsReadOnly).
+// The package is a member of the simlint readonly observer set, so a
+// simulation-state write in here is a lint failure, not a convention
+// violation. This is the metrics/health surface the future clusterd
+// daemon mounts unchanged.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension. Series are identified by their full,
+// key-sorted label set, so two registrations with the same pairs in any
+// order resolve to the same series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric kinds, as they render in the # TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry holds one process's metric families. It is safe for
+// concurrent use: the sweep worker updates series while the HTTP
+// server renders the exposition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, kind string
+	series           map[string]*series // keyed by the rendered label signature
+}
+
+// series is one (name, labels) time series. Counters and gauges use
+// val; histograms use the bucket fields.
+type series struct {
+	labels []Label // sorted by key
+	val    float64
+
+	bounds  []float64 // histogram upper bounds, ascending, +Inf implicit
+	buckets []uint64  // observation counts per bound (non-cumulative)
+	sum     float64
+	count   uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns (registering on first use) the counter series with
+// the given name and labels. Counters only go up.
+type Counter struct {
+	r *Registry
+	s *series
+}
+
+// Gauge returns-style handle for a value that can go up and down.
+type Gauge struct {
+	r *Registry
+	s *series
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	r *Registry
+	s *series
+}
+
+// validName reports whether s is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (labels additionally may not use ':',
+// but the stricter check costs nothing here and we never emit colons).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !(c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// signature renders a sorted label set as its exposition form, which
+// doubles as the series key. Deterministic label ordering is the
+// load-bearing property: two renders of the same registry are
+// byte-identical, so the /metrics golden test (and any scrape differ)
+// is meaningful.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// getSeries registers (or finds) the series for name/labels under the
+// given kind, panicking on invalid names or a kind conflict — both are
+// programmer errors, not runtime conditions.
+func (r *Registry) getSeries(kind, name, help string, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+		if i > 0 && sorted[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label %q on metric %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, fam.kind, kind))
+	}
+	if fam.help == "" {
+		fam.help = help
+	}
+	sig := signature(sorted)
+	s := fam.series[sig]
+	if s == nil {
+		s = &series{labels: sorted}
+		fam.series[sig] = s
+	}
+	return s
+}
+
+// Counter registers (idempotently) and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{r: r, s: r.getSeries(kindCounter, name, help, labels)}
+}
+
+// Gauge registers (idempotently) and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{r: r, s: r.getSeries(kindGauge, name, help, labels)}
+}
+
+// Histogram registers (idempotently) and returns a histogram over the
+// given ascending upper bounds (+Inf is implicit). Bounds are fixed at
+// first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	h := &Histogram{r: r, s: r.getSeries(kindHistogram, name, help, labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h.s.bounds == nil {
+		h.s.bounds = append([]float64(nil), bounds...)
+		h.s.buckets = make([]uint64, len(bounds))
+	}
+	return h
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decreased")
+	}
+	c.r.mu.Lock()
+	c.s.val += v
+	c.r.mu.Unlock()
+}
+
+// Value returns the counter's current value.
+func (c *Counter) Value() float64 {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.s.val
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	g.r.mu.Lock()
+	g.s.val = v
+	g.r.mu.Unlock()
+}
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	g.r.mu.Lock()
+	g.s.val += v
+	g.r.mu.Unlock()
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.s.val
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	h.s.sum += v
+	h.s.count++
+	for i, b := range h.s.bounds {
+		if v <= b {
+			h.s.buckets[i]++
+			return
+		}
+	}
+	// falls into the implicit +Inf bucket only, counted via count.
+}
+
+// Count returns the histogram's observation count.
+func (h *Histogram) Count() uint64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.s.count
+}
+
+// snapshot copies the registry under the lock for rendering: family
+// names sorted, series sorted by label signature.
+type famSnap struct {
+	name, help, kind string
+	series           []seriesSnap
+}
+
+type seriesSnap struct {
+	sig    string
+	val    float64
+	bounds []float64
+	cum    []uint64 // cumulative bucket counts, histograms only
+	sum    float64
+	count  uint64
+}
+
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name) //simlint:allow maprange — sorted below
+	}
+	sort.Strings(names)
+	out := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		fam := r.families[name]
+		fs := famSnap{name: fam.name, help: fam.help, kind: fam.kind}
+		sigs := make([]string, 0, len(fam.series))
+		for sig := range fam.series {
+			sigs = append(sigs, sig) //simlint:allow maprange — sorted below
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := fam.series[sig]
+			ss := seriesSnap{sig: sig, val: s.val, sum: s.sum, count: s.count}
+			if fam.kind == kindHistogram {
+				ss.bounds = append([]float64(nil), s.bounds...)
+				ss.cum = make([]uint64, len(s.buckets))
+				var run uint64
+				for i, n := range s.buckets {
+					run += n
+					ss.cum[i] = run
+				}
+			}
+			fs.series = append(fs.series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo.").Add(7)
+	h := NewServer(reg, nil, nil).Handler()
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ExpositionContentType {
+		t.Errorf("content type %q, want %q", ct, ExpositionContentType)
+	}
+	st, err := ParseExposition(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("served exposition invalid: %v\n%s", err, rec.Body.String())
+	}
+	if st.Families != 1 || st.Series != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total 7") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestServerStatusEndpoint(t *testing.T) {
+	sw := NewSweepAt("run-s", nil, nil, fakeClock(time.Unix(3000, 0), time.Second))
+	sw.PointStarted("fft-c2-inf", "fft", 2, "inf")
+	sw.PointDone("fft-c2-inf", time.Second, 9)
+	h := NewServer(nil, sw, nil).Handler()
+
+	rec := get(t, h, "/status")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var doc StatusDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc.Schema != StatusSchemaV1 || doc.Run != "run-s" || doc.Counts.Done != 1 {
+		t.Errorf("doc: %+v", doc)
+	}
+}
+
+// With no sweep attached, /status serves an explicit idle document
+// rather than an error — curl-ability does not depend on wiring.
+func TestServerStatusIdleWithoutSweep(t *testing.T) {
+	rec := get(t, NewServer(nil, nil, nil).Handler(), "/status")
+	var doc StatusDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != StatusSchemaV1 || doc.State != "idle" {
+		t.Errorf("idle doc: %+v", doc)
+	}
+}
+
+func TestServerEventsEndpointFilters(t *testing.T) {
+	log := NewLog(nil, "r")
+	log.SetClock(fakeClock(time.Unix(0, 0), time.Millisecond))
+	log.Emit(Event{Kind: EventPointStart, Point: "a"})
+	log.Emit(Event{Kind: EventPointStart, Point: "b"})
+	log.Emit(Event{Kind: EventPointDone, Point: "a"})
+	h := NewServer(nil, nil, log).Handler()
+
+	rec := get(t, h, "/events")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Errorf("content type %q", ct)
+	}
+	all := strings.Count(rec.Body.String(), "\n")
+	if all != 3 {
+		t.Errorf("%d events unfiltered, want 3:\n%s", all, rec.Body.String())
+	}
+
+	rec = get(t, h, "/events?point=a")
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d events for point a, want 2:\n%s", len(lines), rec.Body.String())
+	}
+	for _, ln := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Point != "a" {
+			t.Errorf("filter leaked %+v", e)
+		}
+	}
+}
+
+func TestServerIndexAndMethodDiscipline(t *testing.T) {
+	h := NewServer(NewRegistry(), nil, nil).Handler()
+	rec := get(t, h, "/")
+	for _, path := range []string{"/metrics", "/status", "/events", "/debug/pprof/"} {
+		if !strings.Contains(rec.Body.String(), path) {
+			t.Errorf("index does not mention %s:\n%s", path, rec.Body.String())
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405 (endpoints are read-only)", rec.Code)
+	}
+}
+
+func TestServerStartServesAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("live_total", "Live.").Inc()
+	run, err := NewServer(reg, nil, nil).Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if !strings.HasPrefix(run.URL(), "http://127.0.0.1:") {
+		t.Fatalf("url %q", run.URL())
+	}
+	resp, err := http.Get(run.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	st, err := ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Series != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if err := run.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clustersim/internal/perf"
+)
+
+// StatusSchemaV1 identifies the GET /status document (documented in
+// EXPERIMENTS.md).
+const StatusSchemaV1 = "clustersim/status/v1"
+
+// PointState is the lifecycle of one sweep point as /status reports it.
+type PointState string
+
+const (
+	PointPending  PointState = "pending"
+	PointRunning  PointState = "running"
+	PointDone     PointState = "done"
+	PointFailed   PointState = "failed"
+	PointReplayed PointState = "replayed"
+)
+
+// wallBuckets are the point wall-cost histogram bounds in seconds:
+// point costs span orders of magnitude (MP3D vs Barnes), so the grid
+// is exponential.
+var wallBuckets = []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000}
+
+// Sweep tracks one sweep's live state for the observability plane: the
+// per-point state machine behind GET /status, the sweep-level series
+// in the metrics registry, and the structured events in the run-event
+// log. Registry and log are both optional (nil disables that output),
+// and a nil *Sweep disables the whole plane, so the experiments suite
+// calls these hooks unconditionally.
+//
+// Everything here is wall-clock-side harness state: the only
+// simulation-derived inputs are finished Results' exec times, passed
+// in by value. Sweep is a member of the simlint readonly observer set.
+type Sweep struct {
+	mu      sync.Mutex
+	run     string
+	args    string
+	procs   int
+	size    string
+	started time.Time
+	now     func() time.Time
+
+	points map[string]*PointStatus
+	order  []string
+
+	journalHits   int
+	journalMisses int
+	interrupted   bool
+	finished      bool
+	failedExps    int
+
+	eta *ETA
+	log *Log
+
+	reg            *Registry
+	cRunning       *Gauge
+	cDone          *Counter
+	cFailed        *Counter
+	cReplayed      *Counter
+	cJournalHits   *Counter
+	cJournalMisses *Counter
+	cVirtCycles    *Counter
+	hWall          *Histogram
+}
+
+// PointStatus is one point's row in the /status document.
+type PointStatus struct {
+	Point      string     `json:"point"`
+	App        string     `json:"app"`
+	Cluster    int        `json:"cluster"`
+	Cache      string     `json:"cache"`
+	State      PointState `json:"state"`
+	WallMS     int64      `json:"wallMs,omitempty"`
+	VirtCycles int64      `json:"virtCycles,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// JournalStats is the journal cache-hit split of the /status document.
+type JournalStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// HostStatus is the /status host block: static identity plus the live
+// runtime gauges at render time.
+type HostStatus struct {
+	perf.Host
+	HeapBytes  uint64 `json:"heapBytes"`
+	Goroutines int    `json:"goroutines"`
+}
+
+// PointCounts tallies points by state.
+type PointCounts struct {
+	Pending  int `json:"pending"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Replayed int `json:"replayed"`
+}
+
+// StatusDoc is the GET /status response (schema clustersim/status/v1).
+type StatusDoc struct {
+	Schema        string        `json:"schema"`
+	Run           string        `json:"run"`
+	Args          string        `json:"args,omitempty"`
+	Procs         int           `json:"procs,omitempty"`
+	Size          string        `json:"size,omitempty"`
+	State         string        `json:"state"` // running | done | failed | interrupted
+	StartedUnixMS int64         `json:"startedUnixMs"`
+	Counts        PointCounts   `json:"counts"`
+	Journal       JournalStats  `json:"journal"`
+	ETA           Estimate      `json:"eta"`
+	Host          HostStatus    `json:"host"`
+	Points        []PointStatus `json:"points"`
+}
+
+// NewSweep creates a tracker labelled run, feeding the registry and
+// event log (either may be nil).
+func NewSweep(run string, reg *Registry, log *Log) *Sweep {
+	// Harness wall clock: sweep timing is host-side reporting only.
+	return NewSweepAt(run, reg, log, func() time.Time { return time.Now() }) //simlint:allow wallclock
+}
+
+// NewSweepAt injects the clock (tests use a fake).
+func NewSweepAt(run string, reg *Registry, log *Log, now func() time.Time) *Sweep {
+	s := &Sweep{
+		run:    run,
+		now:    now,
+		points: make(map[string]*PointStatus),
+		eta:    NewETAAt(now),
+		log:    log,
+		reg:    reg,
+	}
+	s.started = now()
+	if reg != nil {
+		s.cRunning = reg.Gauge("clustersim_sweep_points_running", "Points simulating right now.")
+		s.cDone = reg.Counter("clustersim_sweep_points_total", "Points finished, by outcome.", L("state", "done"))
+		s.cFailed = reg.Counter("clustersim_sweep_points_total", "Points finished, by outcome.", L("state", "failed"))
+		s.cReplayed = reg.Counter("clustersim_sweep_points_total", "Points finished, by outcome.", L("state", "replayed"))
+		s.cJournalHits = reg.Counter("clustersim_sweep_journal_lookups_total", "Journal lookups, by outcome.", L("outcome", "hit"))
+		s.cJournalMisses = reg.Counter("clustersim_sweep_journal_lookups_total", "Journal lookups, by outcome.", L("outcome", "miss"))
+		s.cVirtCycles = reg.Counter("clustersim_sweep_virtual_cycles_total", "Simulated cycles accumulated over finished points.")
+		s.hWall = reg.Histogram("clustersim_point_wall_seconds", "Wall-clock cost of freshly computed points.", wallBuckets)
+	}
+	log.Emit(Event{Kind: EventSweepStart, Run: run})
+	return s
+}
+
+// SetIdentity records what the sweep is (the requested experiments,
+// machine size and problem size) for the /status header.
+func (s *Sweep) SetIdentity(args string, procs int, size string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.args, s.procs, s.size = args, procs, size
+	s.mu.Unlock()
+}
+
+// SetTotalPoints declares the sweep's expected point count for the ETA
+// model, when the caller knows it up front.
+func (s *Sweep) SetTotalPoints(n int) {
+	if s == nil {
+		return
+	}
+	s.eta.SetTotal(n)
+}
+
+// Log returns the attached event log (nil-safe), so the process can
+// route additional events through the sweep's stream.
+func (s *Sweep) Log() *Log {
+	if s == nil {
+		return nil
+	}
+	return s.log
+}
+
+// point finds or creates a point row.
+func (s *Sweep) point(name, app string, cluster int, cache string) *PointStatus {
+	p := s.points[name]
+	if p == nil {
+		p = &PointStatus{Point: name, App: app, Cluster: cluster, Cache: cache, State: PointPending}
+		s.points[name] = p
+		s.order = append(s.order, name)
+		s.eta.Saw()
+	}
+	return p
+}
+
+// PointStarted marks a point as simulating now.
+func (s *Sweep) PointStarted(name, app string, cluster int, cache string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	p := s.point(name, app, cluster, cache)
+	p.State = PointRunning
+	s.mu.Unlock()
+	if s.cRunning != nil {
+		s.cRunning.Add(1)
+	}
+	s.log.Emit(Event{Kind: EventPointStart, Span: SpanBegin, Point: name, App: app, Cluster: cluster, Cache: cache})
+}
+
+// PointDone marks a freshly computed point finished.
+func (s *Sweep) PointDone(name string, wall time.Duration, virtCycles int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	p := s.points[name]
+	if p == nil {
+		s.mu.Unlock()
+		return
+	}
+	p.State = PointDone
+	p.WallMS = wall.Milliseconds()
+	p.VirtCycles = virtCycles
+	app, cluster, cache := p.App, p.Cluster, p.Cache
+	s.mu.Unlock()
+	s.eta.Completed(wall)
+	if s.reg != nil {
+		s.cRunning.Add(-1)
+		s.cDone.Inc()
+		s.cVirtCycles.Add(float64(virtCycles))
+		s.hWall.Observe(wall.Seconds())
+	}
+	s.log.Emit(Event{Kind: EventPointDone, Span: SpanEnd, Point: name, App: app, Cluster: cluster, Cache: cache,
+		VirtCycles: virtCycles, DurNS: int64(wall)})
+}
+
+// PointReplayed marks a point served from the journal (a cache hit —
+// no simulation work).
+func (s *Sweep) PointReplayed(name, app string, cluster int, cache string, virtCycles int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	p := s.point(name, app, cluster, cache)
+	p.State = PointReplayed
+	p.VirtCycles = virtCycles
+	s.journalHits++
+	s.mu.Unlock()
+	s.eta.CompletedFree()
+	if s.reg != nil {
+		s.cReplayed.Inc()
+		s.cJournalHits.Inc()
+		s.cVirtCycles.Add(float64(virtCycles))
+	}
+	s.log.Emit(Event{Kind: EventPointReplay, Point: name, App: app, Cluster: cluster, Cache: cache, VirtCycles: virtCycles})
+}
+
+// JournalMiss records a journal lookup that found nothing (the point
+// will simulate).
+func (s *Sweep) JournalMiss() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.journalMisses++
+	s.mu.Unlock()
+	if s.cJournalMisses != nil {
+		s.cJournalMisses.Inc()
+	}
+}
+
+// PointFailed marks a running point failed (panic, engine error, or a
+// journalled failure surfacing on replay).
+func (s *Sweep) PointFailed(name, app string, cluster int, cache string, errMsg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	p := s.point(name, app, cluster, cache)
+	wasRunning := p.State == PointRunning
+	p.State = PointFailed
+	p.Error = errMsg
+	s.mu.Unlock()
+	s.eta.CompletedFree()
+	if s.reg != nil {
+		if wasRunning {
+			s.cRunning.Add(-1)
+		}
+		s.cFailed.Inc()
+	}
+	span := ""
+	if wasRunning {
+		span = SpanEnd
+	}
+	s.log.Emit(Event{Kind: EventPointFail, Span: span, Point: name, App: app, Cluster: cluster, Cache: cache, Error: errMsg})
+}
+
+// PointTimeout records the watchdog firing on a wedged point; the
+// process exits right after, so this is the last event of the log.
+func (s *Sweep) PointTimeout(name string, budget time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if p := s.points[name]; p != nil {
+		p.State = PointFailed
+		p.Error = "watchdog timeout"
+	}
+	s.mu.Unlock()
+	s.log.Emit(Event{Kind: EventWatchdog, Span: SpanEnd, Point: name, DurNS: int64(budget),
+		Error: "point exceeded the wall-clock budget"})
+}
+
+// Interrupted records a cooperative stop (SIGINT/SIGTERM or
+// -stop-after) between points.
+func (s *Sweep) Interrupted() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.interrupted = true
+	s.mu.Unlock()
+	s.log.Emit(Event{Kind: EventSignalStop, Detail: "suite stopped between points; completed work flushed"})
+}
+
+// Finish records the end of the sweep; failedExperiments is how many
+// requested experiments returned errors.
+func (s *Sweep) Finish(failedExperiments int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.finished = true
+	s.failedExps = failedExperiments
+	summary := formatSummary(s.statusLocked().Counts)
+	s.mu.Unlock()
+	s.log.Emit(Event{Kind: EventSweepDone, Detail: summary})
+}
+
+// formatSummary is the one-line replayed-vs-computed split carried by
+// the sweep-done event (the CLI prints its own from suite counters).
+func formatSummary(c PointCounts) string {
+	return fmt.Sprintf("%d points computed, %d replayed from journal, %d failed",
+		c.Done, c.Replayed, c.Failed)
+}
+
+// Status renders the current /status document. The host block reads
+// the live runtime gauges at call time.
+func (s *Sweep) Status() *StatusDoc {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Sweep) statusLocked() *StatusDoc {
+	doc := &StatusDoc{
+		Schema:        StatusSchemaV1,
+		Run:           s.run,
+		Args:          s.args,
+		Procs:         s.procs,
+		Size:          s.size,
+		StartedUnixMS: s.started.UnixMilli(),
+		Journal:       JournalStats{Hits: s.journalHits, Misses: s.journalMisses},
+		ETA:           s.eta.Estimate(),
+	}
+	doc.Host.Host = perf.ReadHost()
+	doc.Host.HeapBytes, doc.Host.Goroutines = perf.ReadHostGauges()
+	for _, name := range s.order {
+		p := *s.points[name]
+		doc.Points = append(doc.Points, p)
+		switch p.State {
+		case PointPending:
+			doc.Counts.Pending++
+		case PointRunning:
+			doc.Counts.Running++
+		case PointDone:
+			doc.Counts.Done++
+		case PointFailed:
+			doc.Counts.Failed++
+		case PointReplayed:
+			doc.Counts.Replayed++
+		}
+	}
+	switch {
+	case s.interrupted:
+		doc.State = "interrupted"
+	case s.finished && (s.failedExps > 0 || doc.Counts.Failed > 0):
+		doc.State = "failed"
+	case s.finished:
+		doc.State = "done"
+	default:
+		doc.State = "running"
+	}
+	return doc
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Drive a small sweep through every lifecycle transition and check the
+// /status document, the metric series, and the event stream all agree.
+func TestSweepLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	var evbuf bytes.Buffer
+	log := NewLog(&evbuf, "run-t")
+	log.SetClock(fakeClock(time.Unix(2000, 0), time.Second))
+	sw := NewSweepAt("run-t", reg, log, fakeClock(time.Unix(2000, 0), time.Second))
+	sw.SetIdentity("fig2", 16, "default")
+	sw.SetTotalPoints(4)
+
+	// Point 1: journal hit.
+	sw.JournalMiss() // a prior lookup that missed
+	sw.PointReplayed("fft-c1-inf", "fft", 1, "inf", 100)
+	// Point 2: computed.
+	sw.PointStarted("fft-c4-inf", "fft", 4, "inf")
+	sw.PointDone("fft-c4-inf", 2*time.Second, 12345)
+	// Point 3: fails while running.
+	sw.PointStarted("lu-c4-inf", "lu", 4, "inf")
+	sw.PointFailed("lu-c4-inf", "lu", 4, "inf", "boom")
+	// Point 4: still running at render time.
+	sw.PointStarted("lu-c8-inf", "lu", 8, "inf")
+
+	doc := sw.Status()
+	if doc.Schema != StatusSchemaV1 || doc.Run != "run-t" || doc.Args != "fig2" || doc.Procs != 16 {
+		t.Fatalf("status header: %+v", doc)
+	}
+	if doc.State != "running" {
+		t.Errorf("state = %q, want running", doc.State)
+	}
+	want := PointCounts{Running: 1, Done: 1, Failed: 1, Replayed: 1}
+	if doc.Counts != want {
+		t.Errorf("counts = %+v, want %+v", doc.Counts, want)
+	}
+	if doc.Journal != (JournalStats{Hits: 1, Misses: 1}) {
+		t.Errorf("journal = %+v", doc.Journal)
+	}
+	if len(doc.Points) != 4 {
+		t.Fatalf("%d point rows, want 4", len(doc.Points))
+	}
+	if p := doc.Points[1]; p.State != PointDone || p.WallMS != 2000 || p.VirtCycles != 12345 {
+		t.Errorf("computed point row: %+v", p)
+	}
+	if p := doc.Points[2]; p.State != PointFailed || p.Error != "boom" {
+		t.Errorf("failed point row: %+v", p)
+	}
+	// ETA: one cost sample (2s), one point of four outstanding.
+	if !doc.ETA.HaveRemaining || doc.ETA.MeanPointMS != 2000 || doc.ETA.RemainingMS != 2000 {
+		t.Errorf("eta = %+v", doc.ETA)
+	}
+	if doc.Host.Goroutines <= 0 {
+		t.Errorf("host gauges not populated: %+v", doc.Host)
+	}
+
+	// Metric series match the state machine.
+	checks := map[string]float64{
+		"running gauge":  reg.Gauge("clustersim_sweep_points_running", "").Value(),
+		"done counter":   reg.Counter("clustersim_sweep_points_total", "", L("state", "done")).Value(),
+		"failed counter": reg.Counter("clustersim_sweep_points_total", "", L("state", "failed")).Value(),
+	}
+	for name, got := range checks {
+		if got != 1 {
+			t.Errorf("%s = %v, want 1", name, got)
+		}
+	}
+	if got := reg.Counter("clustersim_sweep_virtual_cycles_total", "").Value(); got != 12445 {
+		t.Errorf("virtual cycles = %v, want 12445 (replay + computed)", got)
+	}
+
+	sw.PointDone("lu-c8-inf", time.Second, 1)
+	sw.Finish(0)
+	doc = sw.Status()
+	// One point failed, so the sweep as a whole is failed even with zero
+	// failed experiments.
+	if doc.State != "failed" {
+		t.Errorf("final state = %q, want failed", doc.State)
+	}
+
+	evs, err := ReadEvents(strings.NewReader(evbuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	wantKinds := []string{
+		EventSweepStart, EventPointReplay, EventPointStart, EventPointDone,
+		EventPointStart, EventPointFail, EventPointStart, EventPointDone, EventSweepDone,
+	}
+	if strings.Join(kinds, " ") != strings.Join(wantKinds, " ") {
+		t.Errorf("event kinds:\n got %v\nwant %v", kinds, wantKinds)
+	}
+	last := evs[len(evs)-1]
+	if !strings.Contains(last.Detail, "2 points computed, 1 replayed from journal, 1 failed") {
+		t.Errorf("sweep-done summary: %q", last.Detail)
+	}
+}
+
+func TestSweepInterruptedAndCleanStates(t *testing.T) {
+	sw := NewSweepAt("r", nil, nil, fakeClock(time.Unix(0, 0), time.Second))
+	sw.PointStarted("p", "fft", 1, "inf")
+	sw.PointDone("p", time.Second, 1)
+	sw.Finish(0)
+	if got := sw.Status().State; got != "done" {
+		t.Errorf("clean sweep state = %q, want done", got)
+	}
+
+	sw = NewSweepAt("r", nil, nil, fakeClock(time.Unix(0, 0), time.Second))
+	sw.Interrupted()
+	if got := sw.Status().State; got != "interrupted" {
+		t.Errorf("interrupted sweep state = %q", got)
+	}
+}
+
+// All hooks are nil-receiver safe: the suite calls them unconditionally.
+func TestNilSweepIsSafe(t *testing.T) {
+	var sw *Sweep
+	sw.SetIdentity("x", 1, "s")
+	sw.SetTotalPoints(3)
+	sw.PointStarted("p", "a", 1, "c")
+	sw.PointDone("p", time.Second, 1)
+	sw.PointReplayed("p", "a", 1, "c", 1)
+	sw.JournalMiss()
+	sw.PointFailed("p", "a", 1, "c", "e")
+	sw.PointTimeout("p", time.Second)
+	sw.Interrupted()
+	sw.Finish(0)
+	if sw.Status() != nil || sw.Log() != nil {
+		t.Error("nil sweep leaked non-nil state")
+	}
+}

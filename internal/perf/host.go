@@ -44,6 +44,13 @@ var hostGaugeNames = []string{
 	"/sched/goroutines:goroutines",
 }
 
+// ReadHostGauges samples the current live-heap bytes and goroutine
+// count; the obs /status endpoint reports them as the host's live
+// health figures between the monitor's peak snapshots.
+func ReadHostGauges() (heapBytes uint64, goroutines int) {
+	return readHostGauges()
+}
+
 // readHostGauges samples the current live-heap bytes and goroutine
 // count through runtime/metrics.
 func readHostGauges() (heapBytes uint64, goroutines int) {

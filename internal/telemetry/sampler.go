@@ -73,11 +73,16 @@ func (c *Collector) Sample(at Clock, cumulative []ClusterSample) {
 		c.prev[i] = cur
 	}
 	c.samples = append(c.samples, s)
-	if c.progress != nil {
+	if c.progress != nil || c.onSample != nil {
 		t := s.Total()
-		fmt.Fprintf(c.progress, "%s cycle %d: refs +%d  rd-miss +%d  merge +%d  inval +%d\n",
-			c.label, at, t.Refs.References(), t.Refs.ReadMisses, t.Refs.Merges,
-			t.Coh.InvalidationsSent)
+		if c.progress != nil {
+			fmt.Fprintf(c.progress, "%s cycle %d: refs +%d  rd-miss +%d  merge +%d  inval +%d\n",
+				c.label, at, t.Refs.References(), t.Refs.ReadMisses, t.Refs.Merges,
+				t.Coh.InvalidationsSent)
+		}
+		if c.onSample != nil {
+			c.onSample(at, t)
+		}
 	}
 }
 

@@ -187,6 +187,11 @@ type Collector struct {
 	progress io.Writer
 	label    string
 
+	// onSample, when set, observes each interval sample as it lands
+	// (machine-wide counter deltas at a simulated instant); see
+	// SetOnSample.
+	onSample func(at Clock, total ClusterSample)
+
 	started bool
 }
 
@@ -198,6 +203,16 @@ func New() *Collector { return &Collector{} }
 func (c *Collector) SetProgress(w io.Writer, label string) {
 	c.progress = w
 	c.label = label
+}
+
+// SetOnSample registers a callback observing each interval sample as it
+// lands: the machine-wide counter deltas over the interval ending at
+// simulated time at. The callback runs on the engine's token-holding
+// goroutine, so it must be fast and must not touch simulated state —
+// it exists to feed wall-clock-side observers (the obs gauges behind
+// the -serve endpoints).
+func (c *Collector) SetOnSample(fn func(at Clock, total ClusterSample)) {
+	c.onSample = fn
 }
 
 // Start sizes the collector for a machine; core.NewMachine calls it.
