@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint simlint sarif sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite obs-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
+.PHONY: all build vet lint simlint sarif sanitize-suite profile-suite profile-golden critpath-suite critpath-golden fault-suite resume-suite obs-suite fabric-suite test test-short race bench bench-go bench-gate bench-baseline experiments paper examples clean
 
 all: build lint test
 
@@ -117,6 +117,46 @@ obs-suite: build
 	$(OBS_OUT)/tracetool events $(OBS_OUT)/sweep.events.jsonl > $(OBS_OUT)/events.txt
 	grep -q 'sweep-done' $(OBS_OUT)/events.txt
 	@echo "obs-suite: /metrics valid, /status done, run-event log renders"
+
+# Distributed-sweep fabric suite, two halves. First the hermetic chaos
+# matrix under the race detector: every fabric test runs on the
+# simulated network with seed-deterministic message drop, duplication,
+# delay, partitions and scripted worker crashes — including the
+# keystone proof that a distributed sweep under chaos renders tables
+# byte-identical to a local run. Then a real end-to-end smoke over
+# localhost TCP: a coordinator and two worker processes sweep table7,
+# the distributed tables are diffed against a plain local run, and the
+# coordinator's run-event log must carry the fabric lifecycle
+# (join/result/drain). The event log is left in $(FABRIC_OUT) for CI
+# to archive.
+FABRIC_OUT ?= /tmp/clustersim-fabric
+FABRIC_PORT ?= 17600
+fabric-suite: build
+	$(GO) test -race -run 'TestFabric|TestChaos|TestSimnet|TestWire|TestConn|TestCoordinator|TestDistributedSweepByteIdentical' \
+		./internal/fabric/ ./internal/experiments/
+	@rm -rf $(FABRIC_OUT) && mkdir -p $(FABRIC_OUT)
+	$(GO) build -o $(FABRIC_OUT)/experiments ./cmd/experiments
+	$(FABRIC_OUT)/experiments -procs 16 -size test table7 > $(FABRIC_OUT)/local.txt
+	@$(FABRIC_OUT)/experiments -procs 16 -size test -state $(FABRIC_OUT)/coord \
+		-coordinator 127.0.0.1:$(FABRIC_PORT) \
+		-events $(FABRIC_OUT)/fabric.events.jsonl table7 \
+		> $(FABRIC_OUT)/dist.txt 2> $(FABRIC_OUT)/coord.log & cpid=$$!; \
+	sleep 1; \
+	$(FABRIC_OUT)/experiments -procs 16 -size test -worker w1 \
+		-connect 127.0.0.1:$(FABRIC_PORT) -state $(FABRIC_OUT)/w1 \
+		> /dev/null 2> $(FABRIC_OUT)/w1.log & w1=$$!; \
+	$(FABRIC_OUT)/experiments -procs 16 -size test -worker w2 \
+		-connect 127.0.0.1:$(FABRIC_PORT) -state $(FABRIC_OUT)/w2 \
+		> /dev/null 2> $(FABRIC_OUT)/w2.log & w2=$$!; \
+	wait $$cpid; code=$$?; \
+	wait $$w1 $$w2 2>/dev/null; \
+	if [ $$code -ne 0 ]; then \
+		echo "fabric-suite: coordinator exited $$code"; \
+		cat $(FABRIC_OUT)/coord.log; exit 1; fi
+	diff -u $(FABRIC_OUT)/local.txt $(FABRIC_OUT)/dist.txt
+	grep -q '"kind":"fabric-result"' $(FABRIC_OUT)/fabric.events.jsonl
+	grep -q '"kind":"fabric-drain"' $(FABRIC_OUT)/fabric.events.jsonl
+	@echo "fabric-suite: chaos matrix race-clean; distributed tables byte-identical to local run"
 
 profile-golden: build
 	@mkdir -p $(PROFILE_OUT)

@@ -46,6 +46,7 @@ import (
 
 	"clustersim/internal/apps"
 	"clustersim/internal/experiments"
+	"clustersim/internal/fabric"
 	"clustersim/internal/fault"
 	"clustersim/internal/obs"
 	"clustersim/internal/perf"
@@ -87,15 +88,33 @@ func realMain() int {
 		faultNack    = flag.Int("fault-nack", 0, "directory-busy NACK probability per 1000 requests")
 		faultAck     = flag.Int("fault-ack", 0, "delayed invalidation-ack probability per 1000 acks")
 		faultPerturb = flag.Int("fault-perturb", 0, "remote-hop jitter probability per 1000 fetches")
+
+		coordAddr = flag.String("coordinator", "", "distribute the sweep: listen for fabric workers on this address (e.g. :7600); requires -state")
+		workerID  = flag.String("worker", "", "run as a fabric worker with this stable identity; requires -connect")
+		connect   = flag.String("connect", "", "coordinator address a -worker connects to")
+		steal     = flag.Bool("steal", true, "coordinator: let idle workers duplicate in-flight leases (work stealing)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(os.Stderr, usageText())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	// A worker takes no experiment names: its work arrives over the wire.
+	if flag.NArg() == 0 && *workerID == "" {
 		flag.Usage()
 		return experiments.ExitUsage
+	}
+	if *workerID != "" && *connect == "" {
+		return usageError(fmt.Errorf("-worker %s needs -connect <coordinator address>", *workerID))
+	}
+	if *workerID == "" && *connect != "" {
+		return usageError(fmt.Errorf("-connect is only meaningful with -worker <id>"))
+	}
+	if *coordAddr != "" && *workerID != "" {
+		return usageError(fmt.Errorf("-coordinator and -worker are mutually exclusive roles"))
+	}
+	if *coordAddr != "" && *stateDir == "" {
+		return usageError(fmt.Errorf("-coordinator needs -state: distributed results land in the journal the rendering pass replays"))
 	}
 	if *sample < 0 {
 		return usageError(fmt.Errorf("-sample %d: interval must be non-negative", *sample))
@@ -175,6 +194,13 @@ func realMain() int {
 	stop := experiments.NewSignalStop()
 	defer stop.Close()
 	opt.Stop = stop.Stopped
+	if opt.Journal != nil {
+		stop.SetJournalDir(opt.Journal.Dir())
+	}
+
+	if *workerID != "" {
+		return runWorker(*workerID, *connect, opt, stop)
+	}
 
 	what := flag.Args()
 	if len(what) == 1 && what[0] == "all" {
@@ -217,7 +243,9 @@ func realMain() int {
 		if err != nil {
 			return usageError(err)
 		}
-		defer srv.Close()
+		// Graceful: attached /events followers end at a record boundary
+		// instead of a severed connection.
+		defer srv.Shutdown(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "experiments: observability endpoints on %s\n", srv.URL())
 	}
 	// lingerThenSummary runs on every return path below: the summary line
@@ -230,6 +258,18 @@ func realMain() int {
 			// Harness-side wait so external scrapers can observe the final
 			// /status and /metrics; never touches simulated state.
 			time.Sleep(*linger) //simlint:allow wallclock
+		}
+	}
+
+	// Distributed mode: fan the planned points out across the fleet and
+	// land every completion in the journal, then fall through to the
+	// ordinary rendering pass below — which replays each point, so the
+	// tables are byte-identical to a local run. A distribution error is
+	// reported but not fatal: any point the fleet failed to deliver is
+	// simply simulated locally by the suite.
+	if *coordAddr != "" {
+		if err := distribute(*coordAddr, what, opt, *steal, reg, evlog); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: distributed sweep:", err)
 		}
 	}
 
@@ -305,6 +345,79 @@ func run(s *experiments.Suite, name string) error {
 	return fmt.Errorf("unknown experiment %q", name)
 }
 
+// distribute runs the coordinator phase of a distributed sweep: plan
+// the points the requested experiments need, drop the ones the journal
+// already holds, and fan the rest out across whatever fleet connects
+// (degrading to local execution if none does).
+func distribute(addr string, what []string, opt experiments.Options, steal bool,
+	reg *obs.Registry, evlog *obs.Log) error {
+	specs, err := experiments.PlanPoints(what, opt)
+	if err != nil {
+		return err
+	}
+	todo, skipped, err := experiments.FilterJournalled(opt.Journal, specs)
+	if err != nil {
+		return err
+	}
+	if len(todo) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: all %d distributable points already journalled; nothing to distribute\n", skipped)
+		return nil
+	}
+	onResult, onFailure := experiments.CoordinatorSinks(opt.Journal)
+	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Steal:     steal,
+		Run:       experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress),
+		OnResult:  onResult,
+		OnFailure: onFailure,
+		Obs:       fabric.NewObs(reg, evlog),
+		Progress:  opt.Progress,
+	})
+	ln, err := fabric.Listen(addr)
+	if err != nil {
+		return err
+	}
+	// Accept loop for the fleet; coord.Run below is the sweep's real
+	// control loop, and drains this via the listener when done.
+	go coord.Serve(ln) //simlint:allow goroutine
+	fmt.Fprintf(os.Stderr, "experiments: coordinator on %s: distributing %d points (%d already journalled)\n",
+		ln.Addr(), len(todo), skipped)
+	_, err = coord.Run(todo)
+	return err
+}
+
+// runWorker is the fleet-member main loop: connect, serve assignments,
+// and redial with capped backoff when the coordinator is unreachable —
+// a worker that outlives a coordinator restart simply rejoins. Exit 0
+// on drain (sweep complete), 3 on operator interrupt.
+func runWorker(id, addr string, opt experiments.Options, stop *experiments.SignalStop) int {
+	w := fabric.NewWorker(fabric.WorkerConfig{
+		ID:       id,
+		Run:      experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress),
+		Progress: os.Stderr,
+	})
+	backoff := time.Second
+	for {
+		if stop.Stopped() {
+			return experiments.ExitInterrupted
+		}
+		conn, err := fabric.Dial(addr)
+		if err == nil {
+			backoff = time.Second
+			err = w.RunConn(conn)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "experiments: worker %s: sweep complete\n", id)
+				return experiments.ExitOK
+			}
+		}
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: %v (redialing in %v)\n", id, err, backoff)
+		// Harness-side reconnect pacing; interrupt is checked each lap.
+		time.Sleep(backoff) //simlint:allow wallclock
+		if backoff *= 2; backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+	}
+}
+
 func usageError(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	return experiments.ExitUsage
@@ -316,8 +429,12 @@ func usageError(err error) int {
 func usageText() string {
 	return `usage: experiments [flags] <table1..table7|fig2..fig8|ext-assoc|ext-org|ext-scaling|ext-faults|all>...
 
+distributed sweeps (see README "Distributed sweeps"):
+  coordinator:  experiments -coordinator :7600 -state DIR <what>...
+  worker:       experiments -worker w1 -connect host:7600 [-state DIR]
+
 exit codes:
-  0  every requested experiment completed
+  0  every requested experiment completed (worker: sweep drained)
   1  at least one point or experiment failed; the rest ran
   2  bad flags or configuration
   3  SIGINT/SIGTERM (or -stop-after) stopped the suite between points

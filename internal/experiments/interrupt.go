@@ -3,8 +3,10 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 )
@@ -32,12 +34,28 @@ var ErrInterrupted = errors.New("experiments: interrupted; resume from the -stat
 type SignalStop struct {
 	stopped atomic.Bool
 	ch      chan os.Signal
+
+	mu         sync.Mutex
+	journalDir string
+	// exit is the process terminator the second signal invokes;
+	// os.Exit in production, injectable so the second-signal path is
+	// testable in-process. msgW is where operator-facing messages go
+	// (os.Stderr in production, a buffer in tests).
+	exit func(int)
+	msgW io.Writer
 }
 
 // NewSignalStop installs the handler. Call Close to uninstall.
 func NewSignalStop() *SignalStop {
-	s := &SignalStop{ch: make(chan os.Signal, 2)}
+	s := &SignalStop{ch: make(chan os.Signal, 2), exit: os.Exit, msgW: os.Stderr}
 	signal.Notify(s.ch, syscall.SIGINT, syscall.SIGTERM)
+	s.watch()
+	return s
+}
+
+// watch runs the signal state machine: first signal flips the stop
+// flag, second terminates.
+func (s *SignalStop) watch() {
 	// Harness-level watcher, not simulation code: it only flips the stop
 	// flag the suite polls between points (and force-exits on a second
 	// signal), so it cannot perturb virtual-time ordering.
@@ -47,14 +65,60 @@ func NewSignalStop() *SignalStop {
 			return
 		}
 		s.stopped.Store(true)
-		fmt.Fprintf(os.Stderr, "experiments: %v: finishing the current point, then flushing; repeat to exit now\n", sig)
+		s.printf("experiments: %v: finishing the current point, then flushing; repeat to exit now%s\n",
+			sig, s.resumeHint())
 		if sig, ok := <-s.ch; ok {
-			fmt.Fprintf(os.Stderr, "experiments: second %v: exiting immediately\n", sig)
-			os.Exit(ExitInterrupted)
+			s.printf("experiments: second %v: exiting immediately%s\n", sig, s.resumeHint())
+			s.mu.Lock()
+			exit := s.exit
+			s.mu.Unlock()
+			exit(ExitInterrupted)
 		}
 	}()
-	return s
 }
+
+// SetJournalDir tells the stop messages where completed work lives, so
+// the operator staring at a slow point knows exactly how to resume
+// before deciding to signal again.
+func (s *SignalStop) SetJournalDir(dir string) {
+	s.mu.Lock()
+	s.journalDir = dir
+	s.mu.Unlock()
+}
+
+func (s *SignalStop) resumeHint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journalDir == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (completed points are journalled; resume with -state %s)", s.journalDir)
+}
+
+func (s *SignalStop) printf(format string, args ...any) {
+	s.mu.Lock()
+	w := s.msgW
+	s.mu.Unlock()
+	fmt.Fprintf(w, format, args...)
+}
+
+// setExit injects a fake process terminator (tests only).
+func (s *SignalStop) setExit(exit func(int)) {
+	s.mu.Lock()
+	s.exit = exit
+	s.mu.Unlock()
+}
+
+// setMessageWriter redirects operator messages (tests only).
+func (s *SignalStop) setMessageWriter(w io.Writer) {
+	s.mu.Lock()
+	s.msgW = w
+	s.mu.Unlock()
+}
+
+// deliver injects a signal as if the OS had sent it (tests only; the
+// production path receives from signal.Notify on the same channel).
+func (s *SignalStop) deliver(sig os.Signal) { s.ch <- sig }
 
 // Stopped reports whether a signal has arrived; the suite polls it
 // between points via Options.Stop.

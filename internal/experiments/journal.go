@@ -93,7 +93,11 @@ func (j *Journal) Store(rec PointRecord) error {
 		rec.Schema = PointSchemaV1
 	}
 	path := j.pointPath(rec.App, rec.Size, rec.ClusterSize, rec.CacheKB, rec.ConfigHash)
-	err := telemetry.AtomicFile(path, func(w io.Writer) error {
+	// Durable, not merely atomic: the journal is what a crashed worker
+	// or suite resumes from, so the record must survive power loss —
+	// file data is fsynced before the rename and the directory entry
+	// after it. See "Crash consistency" in DESIGN.md §8.
+	err := telemetry.AtomicFileDurable(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		return enc.Encode(rec)
 	})
@@ -144,7 +148,7 @@ func (j *Journal) StoreFailure(rec FailureRecord) error {
 		rec.Schema = FailureSchemaV1
 	}
 	path := j.failurePath(rec.App, rec.Size, rec.ClusterSize, rec.CacheKB, rec.ConfigHash)
-	err := telemetry.AtomicFile(path, func(w io.Writer) error {
+	err := telemetry.AtomicFileDurable(path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rec)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"clustersim/internal/apps"
 	"clustersim/internal/core"
@@ -189,6 +190,80 @@ func TestSuiteSkipsJournalledFailure(t *testing.T) {
 	}
 	if again.fresh != 0 {
 		t.Errorf("replay after retry simulated %d points", again.fresh)
+	}
+}
+
+// TestSuiteRetryAfterWatchdogByteIdentical pins the -point-timeout /
+// -retry-failed interaction end to end: a point the watchdog journalled
+// as failed (before exiting ExitWatchdog) blocks later replays loudly
+// until -retry-failed re-attempts it — with a watchdog still armed on
+// the retry — and the healed run's tables are byte-identical to a run
+// that never failed at all.
+func TestSuiteRetryAfterWatchdogByteIdentical(t *testing.T) {
+	render := func(s *Suite) (string, error) {
+		var buf bytes.Buffer
+		bars, err := s.barsFor("ocean", 4)
+		if err != nil {
+			return "", err
+		}
+		printBars(&buf, bars)
+		return buf.String(), nil
+	}
+
+	clean, err := render(NewSuite(journalOpts(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := journalOpts(t)
+	opt.Journal = j
+	// Fabricate exactly what a prior run's watchdog leaves behind just
+	// before the process exits with ExitWatchdog: a failure record under
+	// the key Suite.Run computes for the wedged point.
+	hash := mustHash(t, opt.config(2, 4))
+	if err := j.StoreFailure(FailureRecord{App: "ocean", Size: opt.Size.String(),
+		ClusterSize: 2, CacheKB: 4, ConfigHash: hash,
+		Error: "watchdog: point ocean-c2-4k exceeded the 1ms wall-clock budget"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -retry-failed the poisoned point refuses loudly.
+	if _, err := render(NewSuite(opt)); err == nil ||
+		!strings.Contains(err.Error(), "journalled as failed") {
+		t.Fatalf("want journalled-failure error, got %v", err)
+	}
+
+	// -retry-failed re-attempts it with the watchdog re-armed (a budget
+	// the healthy point cannot hit — the flags must compose, not fight).
+	retry := opt
+	retry.RetryFailed = true
+	retry.PointTimeout = 5 * time.Minute
+	out, err := render(NewSuite(retry))
+	if err != nil {
+		t.Fatalf("retry run: %v", err)
+	}
+	if out != clean {
+		t.Errorf("retried run differs from the never-failed run:\n--- clean ---\n%s--- retried ---\n%s", clean, out)
+	}
+	if _, ok, _ := j.LoadFailure("ocean", opt.Size.String(), 2, 4, hash); ok {
+		t.Error("successful retry left the failure record behind")
+	}
+
+	// The healed journal now replays everything, still byte-identical.
+	again := NewSuite(opt)
+	out2, err := render(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != clean {
+		t.Error("post-retry replay diverged from the clean run")
+	}
+	if again.fresh != 0 {
+		t.Errorf("post-retry replay simulated %d fresh points", again.fresh)
 	}
 }
 

@@ -1,0 +1,187 @@
+package fabric
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestChaosStreamDeterminism pins that fault decisions are a pure
+// function of (seed, link label, message ordinal) — independent of
+// goroutine interleaving on other links.
+func TestChaosStreamDeterminism(t *testing.T) {
+	a := newChaosStream(42, "w1/w2c")
+	b := newChaosStream(42, "w1/w2c")
+	for i := 0; i < 1000; i++ {
+		if a.roll() != b.roll() {
+			t.Fatalf("draw %d diverged between identical streams", i)
+		}
+	}
+	c := newChaosStream(42, "w2/w2c")
+	same := 0
+	d := newChaosStream(42, "w1/w2c")
+	for i := 0; i < 1000; i++ {
+		if c.roll() == d.roll() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct links shared %d of 1000 draws; label folding is broken", same)
+	}
+}
+
+// TestChaosStreamZeroProbabilityConsumesNoDraw mirrors internal/fault's
+// contract: disabling one fault class must not shift the others.
+func TestChaosStreamZeroProbabilityConsumesNoDraw(t *testing.T) {
+	a := newChaosStream(7, "x")
+	a.hit(0) // must not advance
+	b := newChaosStream(7, "x")
+	if a.roll() != b.roll() {
+		t.Fatal("hit(0) consumed a draw")
+	}
+}
+
+func TestSimnetDeliversBothWays(t *testing.T) {
+	n, err := NewNet(ChaosPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Listener()
+	w, err := n.Dial("w1")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	coordEnd, err := l.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := w.Send(Msg{Type: MsgHello, Worker: "w1"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := coordEnd.Recv()
+	if err != nil || m.Type != MsgHello || m.Worker != "w1" {
+		t.Fatalf("coordinator got (%+v, %v), want hello from w1", m, err)
+	}
+	if m.V != ProtoV1 {
+		t.Fatalf("simnet must stamp the protocol version; got %q", m.V)
+	}
+	if err := coordEnd.Send(Msg{Type: MsgDrain}); err != nil {
+		t.Fatalf("Send back: %v", err)
+	}
+	if m, err := w.Recv(); err != nil || m.Type != MsgDrain {
+		t.Fatalf("worker got (%+v, %v), want drain", m, err)
+	}
+}
+
+func TestSimnetPartitionBlackholesAndHeals(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{})
+	l := n.Listener()
+	w, _ := n.Dial("w1")
+	coordEnd, _ := l.Accept()
+
+	n.Partition("w1")
+	w.Send(Msg{Type: MsgHeartbeat, Worker: "w1"}) // vanishes
+	n.Heal("w1")
+	w.Send(Msg{Type: MsgSteal, Worker: "w1"})
+
+	m, err := coordEnd.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Type != MsgSteal {
+		t.Fatalf("got %s, want steal (the partitioned heartbeat must be lost)", m.Type)
+	}
+}
+
+func TestSimnetCrashIsAbrupt(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{})
+	l := n.Listener()
+	w, _ := n.Dial("w1")
+	coordEnd, _ := l.Accept()
+
+	w.Send(Msg{Type: MsgHeartbeat}) // queued at the coordinator
+	n.Crash("w1")
+	if _, err := coordEnd.Recv(); err != io.EOF {
+		t.Fatalf("Recv after crash = %v, want io.EOF (queued messages lost)", err)
+	}
+	if err := w.Send(Msg{Type: MsgHeartbeat}); err == nil {
+		t.Fatal("Send on a crashed conn must fail")
+	}
+}
+
+func TestSimnetGracefulCloseDrains(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{})
+	l := n.Listener()
+	w, _ := n.Dial("w1")
+	coordEnd, _ := l.Accept()
+
+	w.Send(Msg{Type: MsgResult, Lease: 9})
+	coordEnd.Close()
+	if m, err := coordEnd.Recv(); err != nil || m.Lease != 9 {
+		t.Fatalf("graceful close must drain queued messages (FIN semantics); got (%+v, %v)", m, err)
+	}
+	if _, err := coordEnd.Recv(); err != io.EOF {
+		t.Fatalf("after the drain: %v, want io.EOF", err)
+	}
+	_ = w
+}
+
+// TestSimnetDupDelivers pins the duplication fault: with DupPerMille
+// 1000 every message arrives twice — the coordinator's dedup diet.
+func TestSimnetDupDelivers(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{Seed: 1, DupPerMille: 1000})
+	l := n.Listener()
+	w, _ := n.Dial("w1")
+	coordEnd, _ := l.Accept()
+
+	w.Send(Msg{Type: MsgSteal, Worker: "w1"})
+	for i := 0; i < 2; i++ {
+		m, err := coordEnd.Recv()
+		if err != nil || m.Type != MsgSteal {
+			t.Fatalf("copy %d: (%+v, %v), want steal", i, m, err)
+		}
+	}
+}
+
+// TestSimnetRedialSeversStaleLink covers worker restart: the old
+// incarnation's conns die abruptly and the new link is clean.
+func TestSimnetRedialSeversStaleLink(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{})
+	l := n.Listener()
+	w1, _ := n.Dial("w1")
+	old, _ := l.Accept()
+	w2, err := n.Dial("w1")
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	if _, err := old.Recv(); err != io.EOF {
+		t.Fatalf("stale coordinator end: %v, want io.EOF", err)
+	}
+	if err := w1.Send(Msg{Type: MsgHeartbeat}); err == nil {
+		t.Fatal("stale worker end must be dead")
+	}
+	fresh, _ := l.Accept()
+	if err := w2.Send(Msg{Type: MsgHello, Worker: "w1"}); err != nil {
+		t.Fatalf("new link send: %v", err)
+	}
+	if m, err := fresh.Recv(); err != nil || m.Type != MsgHello {
+		t.Fatalf("new link recv: (%+v, %v)", m, err)
+	}
+}
+
+// TestSimnetDelayStillDelivers bounds the delay fault: a delayed
+// message arrives (late), it is not lost.
+func TestSimnetDelayStillDelivers(t *testing.T) {
+	n, _ := NewNet(ChaosPlan{Seed: 3, DelayPerMille: 1000, DelayMax: 2 * time.Millisecond})
+	l := n.Listener()
+	w, _ := n.Dial("w1")
+	coordEnd, _ := l.Accept()
+	for i := 0; i < 20; i++ {
+		w.Send(Msg{Type: MsgHeartbeat})
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := coordEnd.Recv(); err != nil {
+			t.Fatalf("delayed message %d lost: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Conn is one bidirectional message stream between a worker and the
+// coordinator. Send is safe for concurrent use (the worker's heartbeat
+// goroutine shares the conn with its main loop); Recv is single-reader.
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+	// RemoteName labels the peer for logs and events: a TCP address or
+	// a simnet worker name.
+	RemoteName() string
+}
+
+// Listener accepts worker connections on the coordinator side.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// MaxFrame bounds one message frame. A 64-processor Result is tens of
+// kilobytes; anything near this bound is a corrupt or hostile stream.
+const MaxFrame = 8 << 20
+
+// WriteMsg encodes one length-delimited JSON frame:
+//
+//	<decimal byte length>\n<JSON payload>\n
+//
+// The payload is a single json.Marshal line, so the stream doubles as
+// readable JSON-lines with interleaved length headers; the explicit
+// length lets the reader pre-validate the frame bound before decoding.
+func WriteMsg(w io.Writer, m Msg) error {
+	m.V = ProtoV1
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("fabric: encode %s: %w", m.Type, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("fabric: %s frame of %d bytes exceeds the %d-byte bound", m.Type, len(payload), MaxFrame)
+	}
+	// One buffered write per frame so a frame is never interleaved with
+	// another sender's (Send serialises via mutex above this).
+	buf := make([]byte, 0, len(payload)+16)
+	buf = strconv.AppendInt(buf, int64(len(payload)), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, payload...)
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMsg decodes one frame, enforcing the length bound and the
+// protocol version. io.EOF at a frame boundary is a clean close;
+// anything else is a protocol error naming what went wrong.
+func ReadMsg(r *bufio.Reader) (Msg, error) {
+	header, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && header == "" {
+			return Msg{}, io.EOF
+		}
+		return Msg{}, fmt.Errorf("fabric: read frame header: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: malformed frame header %q", strings.TrimSpace(header))
+	}
+	if n < 0 || n > MaxFrame {
+		return Msg{}, fmt.Errorf("fabric: frame length %d outside [0,%d]", n, MaxFrame)
+	}
+	payload := make([]byte, n+1) // +1 for the trailing newline
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Msg{}, fmt.Errorf("fabric: read %d-byte frame: %w", n, err)
+	}
+	if payload[n] != '\n' {
+		return Msg{}, fmt.Errorf("fabric: frame not newline-terminated")
+	}
+	var m Msg
+	if err := json.Unmarshal(payload[:n], &m); err != nil {
+		return Msg{}, fmt.Errorf("fabric: decode frame: %w", err)
+	}
+	if m.V != ProtoV1 {
+		return Msg{}, fmt.Errorf("fabric: peer speaks %q, want %q (version skew?)", m.V, ProtoV1)
+	}
+	return m, nil
+}
+
+// tcpConn adapts one net.Conn to the Conn contract.
+type tcpConn struct {
+	mu sync.Mutex // serialises writers
+	c  net.Conn
+	r  *bufio.Reader
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, r: bufio.NewReaderSize(c, 64<<10)}
+}
+
+func (t *tcpConn) Send(m Msg) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return WriteMsg(t.c, m)
+}
+
+func (t *tcpConn) Recv() (Msg, error) { return ReadMsg(t.r) }
+func (t *tcpConn) Close() error       { return t.c.Close() }
+func (t *tcpConn) RemoteName() string { return t.c.RemoteAddr().String() }
+
+// tcpListener adapts net.Listener.
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// Listen binds a TCP coordinator endpoint (":0" picks a free port,
+// reported by Addr).
+func Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects a worker to a TCP coordinator.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}

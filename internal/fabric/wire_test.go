@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"clustersim/internal/core"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Msg{
+		{Type: MsgHello, Worker: "w1"},
+		{Type: MsgAssign, Lease: 7, Point: &PointSpec{
+			App: "barnes", Size: "small", ClusterSize: 4, CacheKB: 16,
+			Procs: 16, ConfigHash: "abc123"}},
+		{Type: MsgResult, Worker: "w1", Lease: 7, Resumed: true,
+			Result: &core.Result{ExecTime: 42}},
+		{Type: MsgResult, Worker: "w1", Lease: 8, Error: "panic: boom"},
+		{Type: MsgDrain, Detail: "sweep complete"},
+	}
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("WriteMsg(%s): %v", m.Type, err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadMsg(r)
+		if err != nil {
+			t.Fatalf("ReadMsg #%d: %v", i, err)
+		}
+		if got.V != ProtoV1 {
+			t.Errorf("msg %d: version %q, want %q", i, got.V, ProtoV1)
+		}
+		if got.Type != want.Type || got.Worker != want.Worker || got.Lease != want.Lease ||
+			got.Error != want.Error || got.Resumed != want.Resumed || got.Detail != want.Detail {
+			t.Errorf("msg %d: got %+v, want %+v", i, got, want)
+		}
+		if (got.Point == nil) != (want.Point == nil) {
+			t.Errorf("msg %d: Point presence mismatch", i)
+		} else if want.Point != nil && *got.Point != *want.Point {
+			t.Errorf("msg %d: Point = %+v, want %+v", i, *got.Point, *want.Point)
+		}
+	}
+	if _, err := ReadMsg(r); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"junk header":    "not-a-number\n{}\n",
+		"negative":       "-5\n{}\n",
+		"oversize":       fmt.Sprintf("%d\n", MaxFrame+1),
+		"truncated body": "100\n{\"v\":\"x\"}\n",
+		"bad json":       "5\n{{{{{\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMsg(bufio.NewReader(strings.NewReader(in))); err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want a protocol error", name, err)
+		}
+	}
+}
+
+func TestWireRejectsVersionSkew(t *testing.T) {
+	payload := `{"v":"clustersim/fabric/v0","type":"hello"}`
+	in := fmt.Sprintf("%d\n%s\n", len(payload), payload)
+	_, err := ReadMsg(bufio.NewReader(strings.NewReader(in)))
+	if err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("err = %v, want a version-skew error", err)
+	}
+}
+
+// TestWireTCP pushes the protocol through a real socket: the transport
+// the fleet actually uses, not just the in-memory pipes.
+func TestWireTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() { //simlint:allow goroutine — test harness
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.Send(Msg{Type: MsgAssign, Lease: 1, Point: &PointSpec{App: m.Worker}})
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(Msg{Type: MsgHello, Worker: "w-tcp"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Type != MsgAssign || m.Point == nil || m.Point.App != "w-tcp" {
+		t.Fatalf("echo = %+v, want assign with App=w-tcp", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}

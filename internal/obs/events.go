@@ -14,7 +14,9 @@ const EventsSchemaV1 = "clustersim/events/v1"
 
 // Event kinds. Point events are span-shaped: point-start opens a span
 // that exactly one of point-done / point-fail / watchdog closes
-// (carrying the wall duration); the rest are instants.
+// (carrying the wall duration); the rest are instants. The distributed
+// fabric adds its own fabric-* kinds (see internal/fabric), carrying
+// the worker identity in the Worker field.
 const (
 	EventSweepStart  = "sweep-start"
 	EventSweepDone   = "sweep-done"
@@ -47,6 +49,7 @@ type Event struct {
 	Kind       string `json:"kind"`
 	Span       string `json:"span,omitempty"`
 	Point      string `json:"point,omitempty"`
+	Worker     string `json:"worker,omitempty"`
 	App        string `json:"app,omitempty"`
 	Cluster    int    `json:"cluster,omitempty"`
 	Cache      string `json:"cache,omitempty"`

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -24,12 +26,17 @@ type Server struct {
 	reg   *Registry
 	sweep *Sweep
 	log   *Log
+	// done is closed when a graceful Shutdown begins. The ?follow=1
+	// streams select on it: without this signal they would end only when
+	// their client hangs up, and http.Server.Shutdown would wait out its
+	// whole deadline on every attached follower.
+	done chan struct{}
 }
 
 // NewServer builds a server over the given sources; any of them may be
 // nil (the corresponding endpoint then serves an empty document).
 func NewServer(reg *Registry, sweep *Sweep, log *Log) *Server {
-	return &Server{reg: reg, sweep: sweep, log: log}
+	return &Server{reg: reg, sweep: sweep, log: log, done: make(chan struct{})}
 }
 
 // Handler returns the endpoint mux.
@@ -113,6 +120,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.done:
+			// Graceful shutdown: end the stream at a record boundary so
+			// the follower sees a clean EOF, not a severed connection.
+			return
 		case e, ok := <-live:
 			if !ok {
 				return
@@ -132,8 +143,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // Running is one bound, serving listener.
 type Running struct {
-	srv *http.Server
-	ln  net.Listener
+	srv   *http.Server
+	ln    net.Listener
+	drain func() // signals follow streams that shutdown has begun
 }
 
 // Addr is the bound address (resolves ":0" to the real port).
@@ -151,8 +163,23 @@ func (r *Running) URL() string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
-// Close stops serving.
-func (r *Running) Close() error { return r.srv.Close() }
+// Close stops serving immediately, severing in-flight responses. Use
+// Shutdown for the clean path; Close remains the hard stop.
+func (r *Running) Close() error {
+	r.drain()
+	return r.srv.Close()
+}
+
+// Shutdown stops serving gracefully: the listener closes, attached
+// /events?follow=1 streams are told to end at a record boundary, and
+// in-flight handlers get until the deadline to finish before the
+// remaining connections are severed. Safe to call more than once.
+func (r *Running) Shutdown(timeout time.Duration) error {
+	r.drain()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.srv.Shutdown(ctx)
+}
 
 // Start binds addr and serves the endpoints in the background until
 // Close. The returned Running reports the resolved address, so ":0"
@@ -173,5 +200,7 @@ func (s *Server) Start(addr string) (*Running, error) {
 	// nothing reachable from a handler mutates simulated state (obs is
 	// in the simlint readonly observer set).
 	go srv.Serve(ln) //simlint:allow goroutine
-	return &Running{srv: srv, ln: ln}, nil
+	var once sync.Once
+	drain := func() { once.Do(func() { close(s.done) }) }
+	return &Running{srv: srv, ln: ln, drain: drain}, nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -118,6 +119,62 @@ func TestServerIndexAndMethodDiscipline(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /metrics = %d, want 405 (endpoints are read-only)", rec.Code)
+	}
+}
+
+// TestServerShutdownDrainsFollowers pins the graceful path: Shutdown
+// with an attached /events?follow=1 stream must end the stream at a
+// record boundary (clean EOF, every line valid JSON) and return well
+// before its deadline instead of waiting it out.
+func TestServerShutdownDrainsFollowers(t *testing.T) {
+	log := NewLog(nil, "r")
+	log.SetClock(fakeClock(time.Unix(0, 0), time.Millisecond))
+	log.Emit(Event{Kind: EventPointStart, Point: "a"})
+	run, err := NewServer(nil, nil, log).Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+
+	resp, err := http.Get(run.URL() + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type streamEnd struct {
+		lines []string
+		err   error
+	}
+	ended := make(chan streamEnd, 1)
+	go func() { //simlint:allow goroutine — test harness
+		body, err := io.ReadAll(resp.Body) // blocks until the server ends the stream
+		lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+		ended <- streamEnd{lines, err}
+	}()
+
+	// Let the follower attach and replay the ring, then shut down.
+	time.Sleep(50 * time.Millisecond) //simlint:allow wallclock — test pacing
+	log.Emit(Event{Kind: EventPointDone, Point: "a"})
+	start := time.Now() //simlint:allow wallclock — test timing
+	if err := run.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second { //simlint:allow wallclock — test timing
+		t.Errorf("Shutdown took %v; followers were not drained, the deadline was", waited)
+	}
+	end := <-ended
+	if end.err != nil {
+		t.Fatalf("follower stream severed instead of drained: %v", end.err)
+	}
+	for _, ln := range end.lines {
+		var e Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Errorf("stream ended mid-record: %q: %v", ln, err)
+		}
+	}
+	// Shutdown is idempotent.
+	if err := run.Shutdown(time.Second); err != nil {
+		t.Errorf("second Shutdown: %v", err)
 	}
 }
 

@@ -34,3 +34,34 @@ func AtomicFile(path string, write func(io.Writer) error) (err error) {
 	}
 	return os.Rename(tmp.Name(), path)
 }
+
+// AtomicFileDurable is AtomicFile plus a directory fsync after the
+// rename. AtomicFile alone guarantees readers never see a torn file,
+// and fsyncs the *data* before renaming — but the rename itself lives
+// in the directory, and on a power loss an unsynced directory can
+// forget the entry while keeping the (synced) inode unreachable. For
+// artifacts that must survive the machine dying, not just the process
+// (journal point and failure records that a restarted worker resumes
+// from), the directory entry has to reach disk too.
+func AtomicFileDurable(path string, write func(io.Writer) error) error {
+	if err := AtomicFile(path, write); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, committing renames and removals inside
+// it. Some platforms refuse fsync on directories (and some container
+// filesystems error without meaning data loss); those errors are
+// surfaced, not swallowed, so callers decide.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

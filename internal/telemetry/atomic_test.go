@@ -120,6 +120,35 @@ func TestAtomicFileRenameError(t *testing.T) {
 	}
 }
 
+// AtomicFileDurable behaves like AtomicFile from the caller's point of
+// view (complete contents, no leaked temporaries) and the directory
+// fsync it adds succeeds on a real filesystem. A missing parent
+// surfaces as an error rather than a silent no-op — durability that
+// cannot be provided must not be pretended.
+func TestAtomicFileDurableWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicFileDurable(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Errorf("content = %q", got)
+	}
+	if tmps := tempEntries(t, dir); len(tmps) != 0 {
+		t.Errorf("leftover temporaries: %v", tmps)
+	}
+	if err := SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("SyncDir on a missing directory succeeded")
+	}
+}
+
 // An exporter fed a collector with no recorded events still writes a
 // valid, summarizable document — observability tooling must not fall
 // over on trivial runs.
