@@ -40,8 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"clustersim/internal/apps"
@@ -49,6 +49,7 @@ import (
 	"clustersim/internal/fabric"
 	"clustersim/internal/fault"
 	"clustersim/internal/obs"
+	"clustersim/internal/obs/fleet"
 	"clustersim/internal/perf"
 )
 
@@ -199,7 +200,7 @@ func realMain() int {
 	}
 
 	if *workerID != "" {
-		return runWorker(*workerID, *connect, opt, stop)
+		return runWorker(*workerID, *connect, opt, stop, *serveAddr, *eventsOut)
 	}
 
 	what := flag.Args()
@@ -238,8 +239,24 @@ func realMain() int {
 		sweep.SetIdentity(strings.Join(what, " "), *procs, *size)
 		opt.Obs = sweep
 	}
+	// Fleet observability plane (coordinator role): mirror the merged
+	// event log into the aggregated fleet view and federate worker
+	// metrics, serving GET /fleet, /fleet/trace and /fleet/metrics.
+	var (
+		fleetView *fleet.View
+		fleetFed  *fleet.Federator
+	)
+	if *coordAddr != "" && evlog != nil {
+		fleetFed = fleet.NewFederator()
+		fleetView = fleet.NewView(runID, fleetFed)
+		evlog.SetMirror(fleetView.Observe)
+	}
 	if *serveAddr != "" {
-		srv, err := obs.NewServer(reg, sweep, evlog).Start(*serveAddr)
+		s := obs.NewServer(reg, sweep, evlog)
+		if fleetView != nil {
+			fleetView.Mount(s)
+		}
+		srv, err := s.Start(*serveAddr)
 		if err != nil {
 			return usageError(err)
 		}
@@ -268,7 +285,7 @@ func realMain() int {
 	// reported but not fatal: any point the fleet failed to deliver is
 	// simply simulated locally by the suite.
 	if *coordAddr != "" {
-		if err := distribute(*coordAddr, what, opt, *steal, reg, evlog); err != nil {
+		if err := distribute(*coordAddr, what, opt, *steal, reg, evlog, fleetView, fleetFed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: distributed sweep:", err)
 		}
 	}
@@ -350,7 +367,7 @@ func run(s *experiments.Suite, name string) error {
 // already holds, and fan the rest out across whatever fleet connects
 // (degrading to local execution if none does).
 func distribute(addr string, what []string, opt experiments.Options, steal bool,
-	reg *obs.Registry, evlog *obs.Log) error {
+	reg *obs.Registry, evlog *obs.Log, view *fleet.View, fed *fleet.Federator) error {
 	specs, err := experiments.PlanPoints(what, opt)
 	if err != nil {
 		return err
@@ -366,12 +383,23 @@ func distribute(addr string, what []string, opt experiments.Options, steal bool,
 	onResult, onFailure := experiments.CoordinatorSinks(opt.Journal)
 	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		Steal:     steal,
-		Run:       experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress),
+		Run:       experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress, nil),
 		OnResult:  onResult,
 		OnFailure: onFailure,
 		Obs:       fabric.NewObs(reg, evlog),
 		Progress:  opt.Progress,
 	})
+	if view != nil {
+		view.SetSource(coord.FleetWorkers)
+		view.SetTotal(len(todo))
+	}
+	if fed != nil {
+		// Scrape registered workers' /metrics for the federated view while
+		// the sweep runs; stops with the coordinator.
+		stopPoll := make(chan struct{})
+		defer close(stopPoll)
+		go fed.Poll(300*time.Millisecond, coord.ObsTargets, stopPoll) //simlint:allow goroutine
+	}
 	ln, err := fabric.Listen(addr)
 	if err != nil {
 		return err
@@ -389,27 +417,94 @@ func distribute(addr string, what []string, opt experiments.Options, steal bool,
 // and redial with capped backoff when the coordinator is unreachable —
 // a worker that outlives a coordinator restart simply rejoins. Exit 0
 // on drain (sweep complete), 3 on operator interrupt.
-func runWorker(id, addr string, opt experiments.Options, stop *experiments.SignalStop) int {
+//
+// Every worker keeps a process-local event log whose point spans ship
+// to the coordinator's merged fleet timeline piggybacked on fabric
+// frames; -serve additionally exposes the worker's own /metrics,
+// /status and /events, and advertises that address on Hello so the
+// coordinator federates it. -events persists the local log as JSONL.
+func runWorker(id, addr string, opt experiments.Options, stop *experiments.SignalStop, serveAddr, eventsOut string) int {
+	runID := "worker-" + id
+	var evlog *obs.Log
+	if eventsOut != "" {
+		l, err := obs.OpenLog(eventsOut, runID)
+		if err != nil {
+			return usageError(err)
+		}
+		defer l.Close()
+		evlog = l
+	} else {
+		// Memory-only: the span source for the fleet timeline (and GET
+		// /events with -serve) without any file.
+		evlog = obs.NewLog(nil, runID)
+	}
+	var reg *obs.Registry
+	if serveAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	sweep := obs.NewSweep(runID, reg, evlog)
+	sweep.SetIdentity("worker "+id, opt.Procs, opt.Size.String())
+	spans := fleet.NewSpanBuffer()
+	evlog.SetMirror(spans.Observe)
+	obsAddr := ""
+	if serveAddr != "" {
+		srv, err := obs.NewServer(reg, sweep, evlog).Start(serveAddr)
+		if err != nil {
+			return usageError(err)
+		}
+		defer srv.Shutdown(2 * time.Second)
+		obsAddr = srv.URL()
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: observability endpoints on %s\n", id, obsAddr)
+	}
+	// Span shipment with overflow accounting: when the buffer's
+	// drop-oldest cap fired since the last drain, the batch carries a
+	// fabric-span-drop marker so the merged timeline admits its gap.
+	var dropsReported atomic.Uint64
+	spanSource := func(max int) []obs.Event {
+		batch := spans.Drain(max)
+		for {
+			d := spans.Dropped()
+			seen := dropsReported.Load()
+			if d <= seen {
+				return batch
+			}
+			if dropsReported.CompareAndSwap(seen, d) {
+				return append(batch, obs.Event{Kind: fabric.EventSpanDrop, Worker: id, Run: runID,
+					Detail: fmt.Sprintf("dropped=%d", d-seen)})
+			}
+		}
+	}
 	w := fabric.NewWorker(fabric.WorkerConfig{
 		ID:       id,
-		Run:      experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress),
+		Run:      experiments.FabricRunner(opt.Journal, opt.PointTimeout, opt.Progress, sweep),
 		Progress: os.Stderr,
+		ObsAddr:  obsAddr,
+		Spans:    spanSource,
 	})
 	backoff := time.Second
+	attempt := 0
 	for {
 		if stop.Stopped() {
 			return experiments.ExitInterrupted
 		}
 		conn, err := fabric.Dial(addr)
 		if err == nil {
-			backoff = time.Second
+			backoff, attempt = time.Second, 0
 			err = w.RunConn(conn)
 			if err == nil {
+				sweep.Finish(0)
 				fmt.Fprintf(os.Stderr, "experiments: worker %s: sweep complete\n", id)
 				return experiments.ExitOK
 			}
 		}
-		fmt.Fprintf(os.Stderr, "experiments: worker %s: %v (redialing in %v)\n", id, err, backoff)
+		attempt++
+		// Structured redial record: shipped with the next span batch, so
+		// fleet timelines show the worker's connectivity gaps.
+		evlog.Emit(obs.Event{Kind: fabric.EventRedial, Worker: id,
+			Detail: fmt.Sprintf("coordinator=%s attempt=%d backoff=%v", addr, attempt, backoff),
+			Error:  err.Error()})
+		fmt.Fprintf(os.Stderr, "experiments: worker %s: %v (coordinator %s, attempt %d, redialing in %v)\n",
+			id, err, addr, attempt, backoff)
 		// Harness-side reconnect pacing; interrupt is checked each lap.
 		time.Sleep(backoff) //simlint:allow wallclock
 		if backoff *= 2; backoff > 30*time.Second {

@@ -13,14 +13,17 @@ import (
 // eventsCmd renders a run-event log (the JSONL written by experiments
 // -events, schema clustersim/events/v1):
 //
-//	tracetool events [-point NAME] [-kind KIND] [-f] <events.jsonl>
+//	tracetool events [-point NAME] [-kind KIND] [-worker ID] [-f] <events.jsonl>
 //
-// -point and -kind filter; -f keeps polling the file and renders new
-// events as the sweep appends them (a schema-aware tail -f).
+// -point, -kind and -worker filter (a coordinator's merged log carries
+// every fleet member's spans, so -worker isolates one machine's story);
+// -f keeps polling the file and renders new events as the sweep appends
+// them (a schema-aware tail -f).
 func eventsCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("events", flag.ContinueOnError)
 	point := fs.String("point", "", "only events of this point (e.g. ocean-c4-16k)")
 	kind := fs.String("kind", "", "only events of this kind (e.g. point-done)")
+	worker := fs.String("worker", "", "only events of this fleet worker (e.g. w1)")
 	follow := fs.Bool("f", false, "keep polling the file and render events as they are appended")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,9 @@ func eventsCmd(args []string, out io.Writer) error {
 				continue
 			}
 			if *kind != "" && e.Kind != *kind {
+				continue
+			}
+			if *worker != "" && e.Worker != *worker {
 				continue
 			}
 			writeEventRow(out, e, base)
@@ -104,7 +110,11 @@ func writeEventRow(out io.Writer, e obs.Event, base int64) {
 	case e.VirtCycles > 0:
 		note = fmt.Sprintf("%d cycles  %s", e.VirtCycles, note)
 	}
-	fmt.Fprintf(out, "%6d  +%-10v %-12s %-24s %s\n", e.Seq, off, e.Kind, e.Point, note)
+	if e.Worker != "" {
+		fmt.Fprintf(out, "%6d  +%-10v %-16s %-8s %-24s %s\n", e.Seq, off, e.Kind, e.Worker, e.Point, note)
+		return
+	}
+	fmt.Fprintf(out, "%6d  +%-10v %-16s %-24s %s\n", e.Seq, off, e.Kind, e.Point, note)
 }
 
 // metricsCmd validates a Prometheus text exposition — a saved GET

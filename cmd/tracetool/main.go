@@ -43,8 +43,16 @@
 // validate a Prometheus exposition scraped from a -serve endpoint:
 //
 //	tracetool events sweep.events.jsonl
-//	tracetool events -point ocean-c4-16k -f sweep.events.jsonl
+//	tracetool events -point ocean-c4-16k -worker w1 -f sweep.events.jsonl
 //	curl -s localhost:9090/metrics | tracetool metrics -
+//
+// Render fleet observability artifacts from a distributed sweep — the
+// GET /fleet status document, one point's merged cross-process
+// timeline, or a Chrome trace with one track per fleet member:
+//
+//	tracetool fleet fleet.json
+//	tracetool fleet -timeline ocean-c4-inf coordinator.events.jsonl
+//	tracetool fleet -chrome fleet-trace.json coordinator.events.jsonl
 package main
 
 import (
@@ -96,13 +104,15 @@ func run(args []string, out io.Writer) error {
 		return eventsCmd(args[1:], out)
 	case "metrics":
 		return metricsCmd(args[1:], out)
+	case "fleet":
+		return fleetCmd(args[1:], out)
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|critpath|bench|events|metrics [flags]")
+	return fmt.Errorf("usage: tracetool record|replay|telemetry|profile|critpath|bench|events|metrics|fleet [flags]")
 }
 
 // benchCmd renders one perfbench report as a table, or the regression

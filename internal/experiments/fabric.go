@@ -24,6 +24,7 @@ import (
 	"clustersim/internal/apps/registry"
 	"clustersim/internal/core"
 	"clustersim/internal/fabric"
+	"clustersim/internal/obs"
 	"clustersim/internal/telemetry"
 )
 
@@ -189,38 +190,49 @@ func configFromSpec(spec fabric.PointSpec) core.Config {
 // (a restarted worker resumes instead of recomputing), runPoint's panic
 // isolation, and with timeout > 0 the same journal-then-exit watchdog
 // the local suite arms — so a point behaves identically however it
-// reaches a machine.
-func FabricRunner(j *Journal, timeout time.Duration, progress io.Writer) fabric.Runner {
+// reaches a machine. sw, when non-nil, receives point lifecycle hooks
+// into the process-local event log (the span source a fabric worker
+// ships to the coordinator's merged fleet timeline); it never touches
+// results, so traced and untraced runs stay byte-identical.
+func FabricRunner(j *Journal, timeout time.Duration, progress io.Writer, sw *obs.Sweep) fabric.Runner {
 	return func(spec fabric.PointSpec) (*core.Result, bool, error) {
+		name := spec.Name()
+		cache := cacheName(spec.CacheKB)
+		fail := func(err error) (*core.Result, bool, error) {
+			sw.PointFailed(name, spec.App, spec.ClusterSize, cache, err.Error())
+			return nil, false, err
+		}
 		w, err := registry.Lookup(spec.App)
 		if err != nil {
-			return nil, false, err
+			return fail(err)
 		}
 		size, err := ParseSize(spec.Size)
 		if err != nil {
-			return nil, false, err
+			return fail(err)
 		}
 		cfg := configFromSpec(spec)
 		hash, err := telemetry.HashConfig(cfg)
 		if err != nil {
-			return nil, false, err
+			return fail(err)
 		}
 		if hash != spec.ConfigHash {
-			return nil, false, fmt.Errorf(
+			return fail(fmt.Errorf(
 				"experiments: config hash mismatch for %s: coordinator sent %s, this binary derives %s (fleet version skew — refusing to run)",
-				spec.Name(), spec.ConfigHash, hash)
+				name, spec.ConfigHash, hash))
 		}
 		if j != nil {
 			res, ok, err := j.Load(spec.App, spec.Size, spec.ClusterSize, spec.CacheKB, hash)
 			if err != nil {
-				return nil, false, err
+				return fail(err)
 			}
 			if ok {
 				if progress != nil {
-					fmt.Fprintf(progress, "replayed %s from local journal\n", spec.Name())
+					fmt.Fprintf(progress, "replayed %s from local journal\n", name)
 				}
+				sw.PointReplayed(name, spec.App, spec.ClusterSize, cache, int64(res.ExecTime))
 				return res, true, nil
 			}
+			sw.JournalMiss()
 		}
 		if timeout > 0 {
 			rec := FailureRecord{
@@ -235,6 +247,7 @@ func FabricRunner(j *Journal, timeout time.Duration, progress io.Writer) fabric.
 			t := time.AfterFunc(timeout, func() { //simlint:allow wallclock
 				fmt.Fprintf(os.Stderr, "experiments: watchdog: %s still running after %v; aborting worker\n",
 					spec.Name(), timeout)
+				sw.PointTimeout(name, timeout)
 				if j != nil {
 					if err := j.StoreFailure(rec); err != nil {
 						fmt.Fprintln(os.Stderr, "experiments: watchdog:", err)
@@ -244,6 +257,9 @@ func FabricRunner(j *Journal, timeout time.Duration, progress io.Writer) fabric.
 			})
 			defer t.Stop()
 		}
+		sw.PointStarted(name, spec.App, spec.ClusterSize, cache)
+		// Harness wall clock: point cost for the sweep span and fleet ETA.
+		started := time.Now() //simlint:allow wallclock
 		res, err := runPoint(w, cfg, size)
 		if err != nil {
 			if j != nil {
@@ -251,19 +267,20 @@ func FabricRunner(j *Journal, timeout time.Duration, progress io.Writer) fabric.
 					App: spec.App, Size: spec.Size, ClusterSize: spec.ClusterSize,
 					CacheKB: spec.CacheKB, ConfigHash: hash, Error: err.Error(),
 				}); jerr != nil {
-					return nil, false, fmt.Errorf("%v (and journalling the failure failed: %v)", err, jerr)
+					err = fmt.Errorf("%v (and journalling the failure failed: %v)", err, jerr)
 				}
 			}
-			return nil, false, err
+			return fail(err)
 		}
 		if j != nil {
 			if err := j.Store(PointRecord{
 				App: spec.App, Size: spec.Size, ClusterSize: spec.ClusterSize,
 				CacheKB: spec.CacheKB, ConfigHash: hash, Result: res,
 			}); err != nil {
-				return nil, false, err
+				return fail(err)
 			}
 		}
+		sw.PointDone(name, time.Since(started), int64(res.ExecTime)) //simlint:allow wallclock
 		return res, false, nil
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"clustersim/internal/core"
 	"clustersim/internal/fabric"
 	"clustersim/internal/obs"
+	"clustersim/internal/obs/fleet"
 )
 
 func fabricOpt() Options {
@@ -39,7 +41,7 @@ func TestPlanPointsMatchesSuiteDemand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := FabricRunner(j, 0, nil)
+	run := FabricRunner(j, 0, nil, nil)
 	for _, spec := range specs {
 		if _, resumed, err := run(spec); err != nil || resumed {
 			t.Fatalf("run %s: resumed=%v err=%v", spec.Name(), resumed, err)
@@ -94,7 +96,7 @@ func TestFabricRunnerRejectsHashMismatch(t *testing.T) {
 	}
 	spec := specs[0]
 	spec.ConfigHash = "0000deadbeef"
-	if _, _, err := FabricRunner(nil, 0, nil)(spec); err == nil {
+	if _, _, err := FabricRunner(nil, 0, nil, nil)(spec); err == nil {
 		t.Fatal("a hash-mismatched spec must be refused")
 	}
 }
@@ -153,7 +155,7 @@ func TestDistributedSweepByteIdentical(t *testing.T) {
 	var w1Done int32
 	crashOnce := sync.Once{}
 	crashed := make(chan struct{})
-	w1Inner := FabricRunner(w1Journal, 0, nil)
+	w1Inner := FabricRunner(w1Journal, 0, nil, nil)
 	startW1 := func() {
 		conn, err := net.Dial("w1")
 		if err != nil {
@@ -186,7 +188,7 @@ func TestDistributedSweepByteIdentical(t *testing.T) {
 		}
 		w := fabric.NewWorker(fabric.WorkerConfig{
 			ID: "w2", Heartbeat: 30 * time.Millisecond,
-			Run: FabricRunner(w2Journal, 0, nil),
+			Run: FabricRunner(w2Journal, 0, nil, nil),
 		})
 		go w.RunConn(conn) //simlint:allow goroutine — test harness
 	}
@@ -236,6 +238,249 @@ func TestDistributedSweepByteIdentical(t *testing.T) {
 	}
 	if kinds[fabric.EventWorkerDead] == 0 {
 		t.Errorf("no %s event despite the scripted crash; kinds = %v", fabric.EventWorkerDead, kinds)
+	}
+	if kinds[fabric.EventResult] != len(specs) {
+		t.Errorf("%d first completions, want %d; kinds = %v", kinds[fabric.EventResult], len(specs), kinds)
+	}
+}
+
+// TestFleetTimelineCompleteUnderChaos is the fleet-observability
+// keystone: a chaotic distributed sweep (drop/dup/delay, a mid-sweep
+// worker crash with journal-backed restart, and a network partition
+// that black-holes the other worker past the liveness deadline) must
+// still produce a merged fleet timeline in which every assigned point
+// reaches exactly one terminal state, the /fleet totals account for
+// every planned point, worker-origin spans appear in the coordinator's
+// merged view with their trace IDs intact, and the rendered table is
+// byte-identical to a plain local run.
+func TestFleetTimelineCompleteUnderChaos(t *testing.T) {
+	// Golden: the plain local suite.
+	var local bytes.Buffer
+	lopt := fabricOpt()
+	lopt.Out = &local
+	if err := NewSuite(lopt).PrintTable7(); err != nil {
+		t.Fatalf("local render: %v", err)
+	}
+
+	opt := fabricOpt()
+	coordJournal, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := PlanPoints([]string{"table7"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fabric.NewNet(fabric.ChaosPlan{
+		Seed: 41, DropPerMille: 60, DupPerMille: 150, DelayPerMille: 250,
+		DelayMax: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator-side fleet plane: the event log mirrors synchronously
+	// into the view, so the merged timeline is lossless by construction.
+	evlog := obs.NewLog(nil, "keystone")
+	view := fleet.NewView("keystone", nil)
+	evlog.SetMirror(view.Observe)
+	view.SetTotal(len(specs))
+	onResult, onFailure := CoordinatorSinks(coordJournal)
+	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		DeadAfter:    250 * time.Millisecond,
+		LeaseTimeout: 2 * time.Second,
+		BackoffBase:  10 * time.Millisecond,
+		Steal:        true,
+		LocalGrace:   time.Hour, // the fleet must do the work in this test
+		OnResult:     onResult,
+		OnFailure:    onFailure,
+		Obs:          fabric.NewObs(nil, evlog),
+	})
+	view.SetSource(coord.FleetWorkers)
+	go coord.Serve(net.Listener()) //simlint:allow goroutine — test harness
+
+	// Each worker runs its own obs plane: a sweep feeding a local event
+	// log whose mirror buffers spans for piggybacked shipment.
+	workerObs := func(id string) (*obs.Sweep, *fleet.SpanBuffer) {
+		wlog := obs.NewLog(nil, "worker-"+id)
+		buf := fleet.NewSpanBuffer()
+		wlog.SetMirror(buf.Observe)
+		return obs.NewSweep("worker-"+id, nil, wlog), buf
+	}
+
+	// Worker 1 crashes right after its second fresh completion; its
+	// restart resumes from its journal.
+	w1Journal, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1Sweep, w1Spans := workerObs("w1")
+	w1Inner := FabricRunner(w1Journal, 0, nil, w1Sweep)
+	var w1Done int32
+	crashOnce := sync.Once{}
+	crashed := make(chan struct{})
+	startW1 := func(run fabric.Runner) {
+		conn, err := net.Dial("w1")
+		if err != nil {
+			t.Fatalf("dial w1: %v", err)
+		}
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			ID: "w1", Heartbeat: 30 * time.Millisecond,
+			Run: run, Spans: w1Spans.Drain,
+		})
+		go w.RunConn(conn) //simlint:allow goroutine — test harness
+	}
+	startW1(func(spec fabric.PointSpec) (*core.Result, bool, error) {
+		res, resumed, err := w1Inner(spec)
+		if err == nil && !resumed && atomic.AddInt32(&w1Done, 1) == 2 {
+			crashOnce.Do(func() {
+				net.Crash("w1")
+				close(crashed)
+			})
+		}
+		return res, resumed, err
+	})
+	go func() { //simlint:allow goroutine — test harness
+		<-crashed
+		time.Sleep(50 * time.Millisecond) //simlint:allow wallclock — restart delay
+		startW1(w1Inner)
+	}()
+
+	// Worker 2 is partitioned (black-holed, conn nominally up) after its
+	// second fresh completion, long enough for the coordinator to declare
+	// it dead and requeue its leases; after the heal it redials.
+	w2Journal, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2Sweep, w2Spans := workerObs("w2")
+	w2Inner := FabricRunner(w2Journal, 0, nil, w2Sweep)
+	var w2Done int32
+	partOnce := sync.Once{}
+	partitioned := make(chan struct{})
+	startW2 := func(run fabric.Runner) {
+		conn, err := net.Dial("w2")
+		if err != nil {
+			t.Fatalf("dial w2: %v", err)
+		}
+		w := fabric.NewWorker(fabric.WorkerConfig{
+			ID: "w2", Heartbeat: 30 * time.Millisecond,
+			Run: run, Spans: w2Spans.Drain,
+		})
+		go w.RunConn(conn) //simlint:allow goroutine — test harness
+	}
+	startW2(func(spec fabric.PointSpec) (*core.Result, bool, error) {
+		res, resumed, err := w2Inner(spec)
+		if err == nil && !resumed && atomic.AddInt32(&w2Done, 1) == 2 {
+			partOnce.Do(func() {
+				net.Partition("w2")
+				close(partitioned)
+			})
+		}
+		return res, resumed, err
+	})
+	go func() { //simlint:allow goroutine — test harness
+		<-partitioned
+		// Outlast DeadAfter so the silence is noticed and the leases move.
+		time.Sleep(400 * time.Millisecond) //simlint:allow wallclock — partition window
+		net.Heal("w2")
+		startW2(w2Inner)
+	}()
+
+	if _, err := coord.Run(specs); err != nil {
+		t.Fatalf("distributed sweep: %v", err)
+	}
+
+	// Tables byte-identical, zero fresh simulations on render.
+	var dist bytes.Buffer
+	ropt := fabricOpt()
+	ropt.Out = &dist
+	ropt.Journal = coordJournal
+	s := NewSuite(ropt)
+	if err := s.PrintTable7(); err != nil {
+		t.Fatalf("distributed render: %v", err)
+	}
+	if s.Fresh() != 0 {
+		t.Errorf("rendering simulated %d fresh points; the fleet should have delivered all of them", s.Fresh())
+	}
+	if !bytes.Equal(local.Bytes(), dist.Bytes()) {
+		t.Errorf("distributed table differs from local run:\n--- local ---\n%s\n--- distributed ---\n%s",
+			local.String(), dist.String())
+	}
+
+	// Completeness: every planned point was assigned and reached exactly
+	// one terminal state, despite the crash, the partition, and the
+	// message chaos.
+	a := view.Audit()
+	if a.Points != len(specs) || a.Assigned != len(specs) {
+		t.Errorf("audit saw %d points (%d assigned), want %d", a.Points, a.Assigned, len(specs))
+	}
+	if len(a.Incomplete) != 0 {
+		t.Errorf("points with no terminal state: %v", a.Incomplete)
+	}
+	if len(a.MultiResult) != 0 {
+		t.Errorf("points with more than one first-completion: %v", a.MultiResult)
+	}
+	if a.Failed != 0 {
+		t.Errorf("audit counted %d failed points, want 0", a.Failed)
+	}
+	if a.Done+a.Replayed != len(specs) {
+		t.Errorf("done %d + replayed %d != %d planned points", a.Done, a.Replayed, len(specs))
+	}
+
+	// The /fleet doc's totals must account for every planned point.
+	doc := view.Doc()
+	if doc.Schema != fleet.SchemaV1 {
+		t.Errorf("fleet doc schema = %q, want %s", doc.Schema, fleet.SchemaV1)
+	}
+	if doc.Totals.Points != len(specs) || doc.Totals.Done+doc.Totals.Replayed != len(specs) || doc.Totals.Failed != 0 {
+		t.Errorf("fleet totals %+v do not account for %d planned points", doc.Totals, len(specs))
+	}
+	if doc.Totals.Workers < 2 {
+		t.Errorf("fleet doc saw %d workers, want at least w1 and w2", doc.Totals.Workers)
+	}
+
+	// Every point's merged timeline is reachable by name and by trace ID,
+	// and every traced event on it carries the point's own trace.
+	for _, spec := range specs {
+		name, trace := spec.Name(), fleet.TraceID(spec.Key())
+		tl, ok := view.Timeline(name)
+		if !ok || len(tl) == 0 {
+			t.Fatalf("no merged timeline for point %s", name)
+		}
+		if byTrace, ok := view.Timeline(trace); !ok || len(byTrace) != len(tl) {
+			t.Errorf("timeline lookup by trace %s of %s: ok=%v len=%d want %d", trace, name, ok, len(byTrace), len(tl))
+		}
+		for _, e := range tl {
+			if e.Trace != "" && e.Trace != trace {
+				t.Errorf("point %s: event %s carries foreign trace %s (want %s)", name, e.Kind, e.Trace, trace)
+			}
+		}
+	}
+
+	// Cross-process enrichment: worker-origin spans (Run label stamped by
+	// the worker's own log) made it into the coordinator's merged view.
+	workerSpans := 0
+	for _, name := range view.Points() {
+		tl, _ := view.Timeline(name)
+		for _, e := range tl {
+			if strings.HasPrefix(e.Run, "worker-") {
+				workerSpans++
+			}
+		}
+	}
+	if workerSpans == 0 {
+		t.Error("no worker-origin spans in the merged fleet view; piggyback shipment delivered nothing")
+	}
+
+	// Both failure injections left liveness footprints.
+	kinds := map[string]int{}
+	for _, e := range evlog.Recent() {
+		kinds[e.Kind]++
+	}
+	if kinds[fabric.EventWorkerDead] < 2 {
+		t.Errorf("want at least 2 %s events (crash + partition), got %d; kinds = %v",
+			fabric.EventWorkerDead, kinds[fabric.EventWorkerDead], kinds)
 	}
 	if kinds[fabric.EventResult] != len(specs) {
 		t.Errorf("%d first completions, want %d; kinds = %v", kinds[fabric.EventResult], len(specs), kinds)

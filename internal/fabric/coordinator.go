@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"clustersim/internal/core"
+	"clustersim/internal/obs/fleet"
 )
 
 // Coordinator tuning knobs. All timing is wall-clock harness time —
@@ -164,6 +165,7 @@ type workerState struct {
 	idle     bool // sent Steal, awaiting an assignment
 	gone     bool
 	leases   map[uint64]bool
+	obsAddr  string // worker obs server base URL from Hello, if any
 }
 
 // Coordinator owns the sweep: it leases points to workers, detects
@@ -231,12 +233,18 @@ func (c *Coordinator) handleConn(conn Conn) {
 		return
 	}
 	id := m.Worker
-	c.register(id, conn)
+	c.register(id, conn, m.ObsAddr)
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			c.workerGone(id, conn, "connection lost")
 			return
+		}
+		// Any frame may carry piggybacked span events; merge them into
+		// the fleet timeline before acting on the frame itself, so a
+		// point's worker spans precede its fabric-result event.
+		if len(m.Spans) > 0 {
+			c.cfg.Obs.WorkerSpans(id, m.Spans)
 		}
 		switch m.Type {
 		case MsgHeartbeat:
@@ -258,14 +266,14 @@ func (c *Coordinator) handleConn(conn Conn) {
 }
 
 // register installs (or, for a restarted worker, replaces) a worker.
-func (c *Coordinator) register(id string, conn Conn) {
+func (c *Coordinator) register(id string, conn Conn, obsAddr string) {
 	c.mu.Lock()
 	if old := c.workers[id]; old != nil && !old.gone {
 		// A reconnect supersedes the old stream: requeue whatever the
 		// previous incarnation held and adopt the new connection.
 		c.declareDeadLocked(old, "superseded by reconnect")
 	}
-	w := &workerState{id: id, conn: conn, lastSeen: c.now(), leases: make(map[uint64]bool)}
+	w := &workerState{id: id, conn: conn, lastSeen: c.now(), leases: make(map[uint64]bool), obsAddr: obsAddr}
 	if c.workers[id] == nil {
 		c.workerOrder = append(c.workerOrder, id)
 	}
@@ -360,7 +368,7 @@ func (c *Coordinator) retireLeaseLocked(l *lease, reason string, requeue bool) {
 	p.attempts++
 	p.eligible = c.now().Add(c.cfg.backoff(p.attempts))
 	c.queue = append(c.queue, l.key)
-	c.cfg.Obs.Requeued(p.spec.Name(), reason, p.attempts)
+	c.cfg.Obs.Requeued(p.spec.Name(), p.spec.TraceID(), reason, p.attempts)
 }
 
 // newLeaseLocked assigns key to worker w.
@@ -398,9 +406,10 @@ func (c *Coordinator) schedule() {
 		w.idle = false
 		p := c.points[key]
 		spec := p.spec
-		sends = append(sends, sendItem{w.conn, Msg{Type: MsgAssign, Lease: l.id, Point: &spec}})
+		trace := spec.TraceID()
+		sends = append(sends, sendItem{w.conn, Msg{Type: MsgAssign, Lease: l.id, Point: &spec, Trace: trace}})
 		attempt := p.attempts
-		c.cfg.Obs.Assigned(id, spec.Name(), kind, attempt)
+		c.cfg.Obs.Assigned(id, spec.Name(), trace, kind, attempt)
 		c.progressf("assign %s to %s (%s, lease %d)", spec.Name(), id, kind, l.id)
 	}
 	c.mu.Unlock()
@@ -466,11 +475,12 @@ func (c *Coordinator) deliverResult(workerID string, m Msg) {
 		return
 	}
 	name := p.spec.Name()
+	trace := p.spec.TraceID()
 	if m.Error != "" {
 		if p.state == stateDone {
 			// A late failure after a healthy completion (e.g. a stolen
 			// copy hit a worker-side watchdog): the result stands.
-			c.cfg.Obs.ResultFailed(workerID, name, "late failure dropped: "+m.Error)
+			c.cfg.Obs.ResultFailed(workerID, name, trace, "late failure dropped: "+m.Error)
 			return
 		}
 		if p.state != stateFailed {
@@ -482,7 +492,7 @@ func (c *Coordinator) deliverResult(workerID string, m Msg) {
 				c.cfg.OnFailure(p.spec, m.Error)
 			}
 		}
-		c.cfg.Obs.ResultFailed(workerID, name, m.Error)
+		c.cfg.Obs.ResultFailed(workerID, name, trace, m.Error)
 		c.progressf("point %s failed on %s: %s", name, workerID, m.Error)
 		return
 	}
@@ -502,7 +512,7 @@ func (c *Coordinator) deliverResult(workerID string, m Msg) {
 				name, workerID))
 			return
 		}
-		c.cfg.Obs.ResultDuplicate(workerID, name)
+		c.cfg.Obs.ResultDuplicate(workerID, name, trace)
 		c.progressf("duplicate completion of %s from %s verified byte-identical, dropped", name, workerID)
 	case stateFailed:
 		// A success after a recorded failure: only wall-clock-dependent
@@ -512,14 +522,14 @@ func (c *Coordinator) deliverResult(workerID string, m Msg) {
 		p.errMsg = ""
 		p.result = m.Result
 		p.resJSON = js
-		c.storeLocked(p, m.Resumed, workerID, name)
+		c.storeLocked(p, m.Resumed, workerID, name, trace, m.WallNS)
 	default:
 		p.state = stateDone
 		p.result = m.Result
 		p.resJSON = js
 		c.remaining--
 		c.retirePointLeasesLocked(p)
-		c.storeLocked(p, m.Resumed, workerID, name)
+		c.storeLocked(p, m.Resumed, workerID, name, trace, m.WallNS)
 	}
 }
 
@@ -532,14 +542,14 @@ func (c *Coordinator) retirePointLeasesLocked(p *point) {
 	}
 }
 
-func (c *Coordinator) storeLocked(p *point, resumed bool, workerID, name string) {
+func (c *Coordinator) storeLocked(p *point, resumed bool, workerID, name, trace string, wallNS int64) {
 	if c.cfg.OnResult != nil {
 		if err := c.cfg.OnResult(p.spec, p.result, resumed); err != nil {
 			c.setFatalLocked(fmt.Errorf("fabric: persist result of %s: %w", name, err))
 			return
 		}
 	}
-	c.cfg.Obs.ResultOK(workerID, name, resumed)
+	c.cfg.Obs.ResultOK(workerID, name, trace, resumed, time.Duration(wallNS))
 	c.progressf("point %s completed by %s (resumed=%v)", name, workerID, resumed)
 }
 
@@ -655,6 +665,47 @@ func joinLines(lines []string) string {
 	return out
 }
 
+// FleetWorkers snapshots every worker this coordinator has seen, in
+// registration order, for the fleet status view: liveness, lease load,
+// heartbeat freshness and the worker's obs server URL (if advertised).
+func (c *Coordinator) FleetWorkers() []fleet.WorkerLink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]fleet.WorkerLink, 0, len(c.workerOrder))
+	for _, id := range c.workerOrder {
+		w := c.workers[id]
+		if w == nil {
+			continue
+		}
+		link := fleet.WorkerLink{
+			Worker:     id,
+			Alive:      !w.gone,
+			ObsURL:     w.obsAddr,
+			LeasesHeld: len(w.leases),
+		}
+		if !w.gone {
+			link.HeartbeatAgeMS = now.Sub(w.lastSeen).Milliseconds()
+		}
+		out = append(out, link)
+	}
+	return out
+}
+
+// ObsTargets lists the live workers whose /metrics the federator should
+// scrape: those that advertised an obs server on their Hello.
+func (c *Coordinator) ObsTargets() []fleet.Target {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]fleet.Target, 0, len(c.workerOrder))
+	for _, id := range c.workerOrder {
+		if w := c.workers[id]; w != nil && !w.gone && w.obsAddr != "" {
+			out = append(out, fleet.Target{Worker: id, URL: w.obsAddr})
+		}
+	}
+	return out
+}
+
 func (c *Coordinator) liveWorkersLocked() int {
 	n := 0
 	for _, id := range c.workerOrder {
@@ -689,14 +740,18 @@ func (c *Coordinator) popEligibleLocalLocked(now time.Time) *point {
 // runLocal executes one point in the coordinator process (no workers
 // left) and feeds it through the normal completion path.
 func (c *Coordinator) runLocal(p *point) {
-	c.cfg.Obs.LocalRun(p.spec.Name())
+	c.cfg.Obs.LocalRun(p.spec.Name(), p.spec.TraceID())
 	c.progressf("no live workers: running %s locally", p.spec.Name())
+	started := c.now()
 	res, resumed, err := c.cfg.Run(p.spec)
 	m := Msg{Type: MsgResult, Lease: p.localLease, Resumed: resumed}
 	if err != nil {
 		m.Error = err.Error()
 	} else {
 		m.Result = res
+		if !resumed {
+			m.WallNS = int64(c.now().Sub(started))
+		}
 	}
 	c.deliverResult("(local)", m)
 }

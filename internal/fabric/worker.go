@@ -6,7 +6,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"clustersim/internal/obs"
 )
+
+// spansPerFrame caps how many buffered span events piggyback on one
+// outgoing Result/Heartbeat frame, keeping frames bounded; the rest
+// ride the next frame.
+const spansPerFrame = 256
 
 // WorkerConfig configures one fleet member.
 type WorkerConfig struct {
@@ -25,6 +32,15 @@ type WorkerConfig struct {
 
 	// Progress receives operator-facing lines (nil = silent).
 	Progress io.Writer
+
+	// ObsAddr, when non-empty, is the worker's obs server base URL
+	// advertised on Hello so the coordinator federates its /metrics.
+	ObsAddr string
+
+	// Spans, when non-nil, drains up to max buffered point-local span
+	// events (a fleet.SpanBuffer's Drain, typically) for piggyback
+	// shipment on Result and Heartbeat frames.
+	Spans func(max int) []obs.Event
 }
 
 func (c WorkerConfig) heartbeat() time.Duration {
@@ -44,17 +60,59 @@ type Worker struct {
 	// Assign frame cannot strand an idle worker (the request is
 	// idempotent on the coordinator side).
 	computing atomic.Bool
+
+	// traces maps assigned point names to the coordinator-provided
+	// trace ID, so locally emitted span events can be stamped before
+	// shipping. Entries persist for the connection's lifetime — a late
+	// span (e.g. a watchdog firing after reassignment) still attaches
+	// to the right timeline.
+	mu     sync.Mutex
+	traces map[string]string
 }
 
 // NewWorker builds a worker; RunConn makes it live.
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg}
+	return &Worker{cfg: cfg, traces: make(map[string]string)}
 }
 
 func (w *Worker) progressf(format string, args ...interface{}) {
 	if w.cfg.Progress != nil {
 		fmt.Fprintf(w.cfg.Progress, "worker %s: "+format+"\n", append([]interface{}{w.cfg.ID}, args...)...)
 	}
+}
+
+// rememberTrace records a point's trace ID from its Assign.
+func (w *Worker) rememberTrace(point, trace string) {
+	if trace == "" {
+		return
+	}
+	w.mu.Lock()
+	w.traces[point] = trace
+	w.mu.Unlock()
+}
+
+// drainSpans pulls buffered span events and stamps each with this
+// worker's identity and (when the point was assigned here) its trace
+// ID, ready for piggyback shipment.
+func (w *Worker) drainSpans() []obs.Event {
+	if w.cfg.Spans == nil {
+		return nil
+	}
+	spans := w.cfg.Spans(spansPerFrame)
+	if len(spans) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	for i := range spans {
+		if spans[i].Worker == "" {
+			spans[i].Worker = w.cfg.ID
+		}
+		if spans[i].Trace == "" && spans[i].Point != "" {
+			spans[i].Trace = w.traces[spans[i].Point]
+		}
+	}
+	w.mu.Unlock()
+	return spans
 }
 
 // RunConn serves one connection to the coordinator until Drain (nil)
@@ -69,7 +127,7 @@ func (w *Worker) RunConn(conn Conn) error {
 	if w.cfg.Run == nil {
 		return fmt.Errorf("fabric: worker %s has no Runner", w.cfg.ID)
 	}
-	if err := conn.Send(Msg{Type: MsgHello, Worker: w.cfg.ID}); err != nil {
+	if err := conn.Send(Msg{Type: MsgHello, Worker: w.cfg.ID, ObsAddr: w.cfg.ObsAddr}); err != nil {
 		return fmt.Errorf("fabric: hello: %w", err)
 	}
 	if err := conn.Send(Msg{Type: MsgSteal, Worker: w.cfg.ID}); err != nil {
@@ -90,7 +148,7 @@ func (w *Worker) RunConn(conn Conn) error {
 			case <-stop:
 				return
 			case <-t.C:
-				conn.Send(Msg{Type: MsgHeartbeat, Worker: w.cfg.ID})
+				conn.Send(Msg{Type: MsgHeartbeat, Worker: w.cfg.ID, Spans: w.drainSpans()})
 				if !w.computing.Load() {
 					// Idle re-request: recovers from a dropped Steal or
 					// Assign frame.
@@ -122,6 +180,7 @@ func (w *Worker) RunConn(conn Conn) error {
 			if m.Point == nil {
 				continue
 			}
+			w.rememberTrace(m.Point.Name(), m.Trace)
 			busy.Wait() // previous point (if any) finished and reported
 			busy.Add(1)
 			w.computing.Store(true)
@@ -145,6 +204,8 @@ func (w *Worker) RunConn(conn Conn) error {
 // for more work.
 func (w *Worker) runPoint(conn Conn, lease uint64, spec PointSpec) {
 	w.progressf("running %s (lease %d)", spec.Name(), lease)
+	// Harness wall clock: point cost measurement for the fleet ETA.
+	started := time.Now() //simlint:allow wallclock
 	res, resumed, err := w.cfg.Run(spec)
 	out := Msg{Type: MsgResult, Worker: w.cfg.ID, Lease: lease, Resumed: resumed}
 	if err != nil {
@@ -155,9 +216,11 @@ func (w *Worker) runPoint(conn Conn, lease uint64, spec PointSpec) {
 		if resumed {
 			w.progressf("point %s resumed from journal", spec.Name())
 		} else {
+			out.WallNS = int64(time.Since(started)) //simlint:allow wallclock
 			w.progressf("point %s done", spec.Name())
 		}
 	}
+	out.Spans = w.drainSpans()
 	conn.Send(out)
 	w.computing.Store(false)
 	conn.Send(Msg{Type: MsgSteal, Worker: w.cfg.ID})

@@ -180,7 +180,7 @@ var simulationPackages = []string{
 // what makes "observed runs are byte-identical to unobserved ones" a
 // checkable contract rather than a convention.
 var observerPackages = []string{
-	"telemetry", "profile", "perf", "critpath", "obs",
+	"telemetry", "profile", "perf", "critpath", "obs", "obs/fleet",
 }
 
 func pathInSet(path string, segs []string) bool {

@@ -50,6 +50,7 @@ type Event struct {
 	Span       string `json:"span,omitempty"`
 	Point      string `json:"point,omitempty"`
 	Worker     string `json:"worker,omitempty"`
+	Trace      string `json:"trace,omitempty"`
 	App        string `json:"app,omitempty"`
 	Cluster    int    `json:"cluster,omitempty"`
 	Cache      string `json:"cache,omitempty"`
@@ -78,6 +79,7 @@ type Log struct {
 	ring   []Event
 	subs   map[int]chan Event
 	nextID int
+	mirror func(Event)
 }
 
 // NewLog writes events to w (which may be nil for a memory-only log
@@ -113,10 +115,28 @@ func (l *Log) SetClock(now func() time.Time) {
 	l.mu.Unlock()
 }
 
+// SetMirror registers a synchronous secondary sink invoked under the
+// log lock for every emitted event, after stamping. Unlike Subscribe,
+// a mirror is lossless — the fleet view depends on seeing every event
+// to keep its merged timeline complete — so it must be fast and must
+// never call back into the log. At most one mirror; nil clears it.
+func (l *Log) SetMirror(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.mirror = fn
+	l.mu.Unlock()
+}
+
 // Emit stamps (schema, seq, wall time, run) onto e and appends it:
 // one marshal, one Write. Marshal errors cannot happen for Event's
 // plain field types, so Emit has no error to return; a short write to
-// a dying disk surfaces on Close.
+// a dying disk surfaces on Close. Seq is always re-stamped — the log's
+// sequence is the causal order — but a non-zero incoming WallUnixNS is
+// preserved, so a worker span re-emitted at the coordinator keeps its
+// origin timestamp while taking its place in the coordinator's total
+// order.
 func (l *Log) Emit(e Event) {
 	if l == nil {
 		return
@@ -126,7 +146,9 @@ func (l *Log) Emit(e Event) {
 	l.seq++
 	e.Schema = EventsSchemaV1
 	e.Seq = l.seq
-	e.WallUnixNS = l.now().UnixNano()
+	if e.WallUnixNS == 0 {
+		e.WallUnixNS = l.now().UnixNano()
+	}
 	if e.Run == "" {
 		e.Run = l.run
 	}
@@ -142,6 +164,9 @@ func (l *Log) Emit(e Event) {
 		l.ring = l.ring[:logRingCap-1]
 	}
 	l.ring = append(l.ring, e)
+	if l.mirror != nil {
+		l.mirror(e)
+	}
 	for _, ch := range l.subs {
 		select {
 		case ch <- e:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -29,7 +30,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case kindHistogram:
 				writeHistogram(bw, fam.name, s)
 			default:
-				fmt.Fprintf(bw, "%s%s %s\n", fam.name, s.sig, formatValue(s.val))
+				fmt.Fprintf(bw, "%s%s %s\n", fam.name, s.sig, FormatValue(s.val))
 			}
 		}
 	}
@@ -41,10 +42,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // inside one brace set.
 func writeHistogram(w io.Writer, name string, s seriesSnap) {
 	for i, bound := range s.bounds {
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(s.sig, "le", formatValue(bound)), s.cum[i])
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(s.sig, "le", FormatValue(bound)), s.cum[i])
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLabel(s.sig, "le", "+Inf"), s.count)
-	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.sig, formatValue(s.sum))
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.sig, FormatValue(s.sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, s.sig, s.count)
 }
 
@@ -57,9 +58,10 @@ func withLabel(sig, key, value string) string {
 	return sig[:len(sig)-1] + "," + extra + "}"
 }
 
-// formatValue renders a sample value the way Prometheus expects:
-// shortest exact decimal, +Inf/-Inf/NaN spelled out.
-func formatValue(v float64) string {
+// FormatValue renders a sample value the way Prometheus expects:
+// shortest exact decimal, +Inf/-Inf/NaN spelled out. Exported so the
+// fleet federator re-renders parsed samples byte-compatibly.
+func FormatValue(v float64) string {
 	switch {
 	case math.IsInf(v, +1):
 		return "+Inf"
@@ -84,18 +86,105 @@ type ExpositionStats struct {
 	Series   int // sample lines
 }
 
+// Sample is one parsed sample line: metric name, labels in document
+// order, and the value. Timestamps are validated but not retained —
+// nothing in this repo emits them.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ExpoFamily groups the samples of one metric family. Histogram and
+// summary component samples (_bucket/_sum/_count) file under their
+// declared family. Typed records whether a # TYPE line declared the
+// family (implicit families from bare samples are untyped).
+type ExpoFamily struct {
+	Name    string
+	Kind    string // counter|gauge|histogram|summary|untyped
+	Help    string
+	Typed   bool
+	Samples []Sample
+}
+
+// Exposition is a fully parsed text exposition document, families in
+// document order. This is what the fleet federator merges.
+type Exposition struct {
+	Families []ExpoFamily
+}
+
+// Stats summarises the document the way ParseExposition reports it.
+func (e *Exposition) Stats() ExpositionStats {
+	var st ExpositionStats
+	if e == nil {
+		return st
+	}
+	for i := range e.Families {
+		if e.Families[i].Typed {
+			st.Families++
+		}
+		st.Series += len(e.Families[i].Samples)
+	}
+	return st
+}
+
+// Signature renders a label set in its canonical exposition form: keys
+// sorted, values escaped. Two label sets with the same pairs in any
+// order share a signature — this is the series-identity contract the
+// registry, the duplicate-series check and the federator all agree on.
+func Signature(labels []Label) string {
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return signature(sorted)
+}
+
 // ParseExposition validates a text exposition document (format 0.0.4):
 // every sample line must parse (name, optional label set, float value,
-// optional timestamp), TYPE lines must name a known metric kind, and
-// sample names must be well-formed. It returns how many families and
-// sample lines the document holds. This is the validator behind
+// optional timestamp), TYPE lines must name a known metric kind, sample
+// names must be well-formed, and no two sample lines may address the
+// same series — label order does not disambiguate, because series
+// identity is the key-sorted signature. It returns how many families
+// and sample lines the document holds. This is the validator behind
 // `tracetool metrics` and the CI observability smoke test — it is a
 // format check, not a full Prometheus client.
 func ParseExposition(r io.Reader) (ExpositionStats, error) {
-	var stats ExpositionStats
+	doc, err := ReadExposition(r)
+	return doc.Stats(), err
+}
+
+// ReadExposition parses a text exposition document into its families
+// and samples, applying the same strict validation as ParseExposition.
+// On error the partially parsed document is returned alongside it.
+func ReadExposition(r io.Reader) (*Exposition, error) {
+	doc := &Exposition{}
+	byName := make(map[string]int) // family name -> index in doc.Families
+	famFor := func(name string) *ExpoFamily {
+		if i, ok := byName[name]; ok {
+			return &doc.Families[i]
+		}
+		// _bucket/_sum/_count samples belong to their declared
+		// histogram or summary family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suffix)
+			if !ok {
+				continue
+			}
+			if i, ok := byName[base]; ok {
+				if k := doc.Families[i].Kind; k == kindHistogram || k == "summary" {
+					return &doc.Families[i]
+				}
+			}
+		}
+		byName[name] = len(doc.Families)
+		doc.Families = append(doc.Families, ExpoFamily{Name: name, Kind: "untyped"})
+		return &doc.Families[len(doc.Families)-1]
+	}
+	seen := make(map[string]bool) // name + key-sorted signature
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
+	nSamples := 0
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -107,31 +196,48 @@ func ParseExposition(r io.Reader) (ExpositionStats, error) {
 			if !ok {
 				continue // free-form comment
 			}
-			if kind == "TYPE" {
-				switch rest {
-				case kindCounter, kindGauge, kindHistogram, "summary", "untyped":
-				default:
-					return stats, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
-				}
-				if !validName(name) {
-					return stats, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
-				}
-				stats.Families++
+			if !validName(name) {
+				return doc, fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, name, kind)
 			}
+			fam := famFor(name)
+			if kind == "HELP" {
+				if fam.Help == "" {
+					fam.Help = rest
+				}
+				continue
+			}
+			switch rest {
+			case kindCounter, kindGauge, kindHistogram, "summary", "untyped":
+			default:
+				return doc, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+			}
+			if fam.Typed {
+				return doc, fmt.Errorf("line %d: duplicate TYPE for metric %q", lineNo, name)
+			}
+			fam.Kind = rest
+			fam.Typed = true
 			continue
 		}
-		if err := parseSampleLine(line); err != nil {
-			return stats, fmt.Errorf("line %d: %v", lineNo, err)
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return doc, fmt.Errorf("line %d: %v", lineNo, err)
 		}
-		stats.Series++
+		key := s.Name + Signature(s.Labels)
+		if seen[key] {
+			return doc, fmt.Errorf("line %d: duplicate series %s (series identity is the key-sorted label signature)", lineNo, key)
+		}
+		seen[key] = true
+		fam := famFor(s.Name)
+		fam.Samples = append(fam.Samples, s)
+		nSamples++
 	}
 	if err := sc.Err(); err != nil {
-		return stats, err
+		return doc, err
 	}
-	if stats.Series == 0 {
-		return stats, fmt.Errorf("no sample lines")
+	if nSamples == 0 {
+		return doc, fmt.Errorf("no sample lines")
 	}
-	return stats, nil
+	return doc, nil
 }
 
 // parseCommentLine splits "# HELP name text" / "# TYPE name kind";
@@ -147,38 +253,42 @@ func parseCommentLine(line string) (kind, name, rest string, ok bool) {
 	return fields[1], fields[2], strings.Join(fields[3:], " "), true
 }
 
-// parseSampleLine validates one sample: name[{labels}] value [timestamp].
-func parseSampleLine(line string) error {
+// parseSampleLine parses one sample: name[{labels}] value [timestamp].
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
 	rest := line
 	i := strings.IndexAny(rest, "{ \t")
 	if i < 0 {
-		return fmt.Errorf("sample %q has no value", line)
+		return s, fmt.Errorf("sample %q has no value", line)
 	}
-	name := rest[:i]
-	if !validName(name) {
-		return fmt.Errorf("invalid metric name %q", name)
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end, err := scanLabels(rest)
+		labels, end, err := scanLabels(rest)
 		if err != nil {
-			return err
+			return s, err
 		}
+		s.Labels = labels
 		rest = rest[end:]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
+		return s, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
 	}
-	if _, err := parseSampleValue(fields[0]); err != nil {
-		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	v, err := parseSampleValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, fields[0])
 	}
+	s.Value = v
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+			return s, fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
 		}
 	}
-	return nil
+	return s, nil
 }
 
 // parseSampleValue accepts floats plus the spelled-out specials.
@@ -194,40 +304,54 @@ func parseSampleValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
-// scanLabels validates a {k="v",...} label block starting at s[0]=='{'
-// and returns the index just past the closing brace.
-func scanLabels(s string) (int, error) {
+// scanLabels parses a {k="v",...} label block starting at s[0]=='{',
+// returning the labels in document order (values unescaped) and the
+// index just past the closing brace.
+func scanLabels(s string) ([]Label, int, error) {
+	var labels []Label
 	i := 1
 	for {
 		// allow {} and trailing comma forms
 		if i < len(s) && s[i] == '}' {
-			return i + 1, nil
+			return labels, i + 1, nil
 		}
 		start := i
 		for i < len(s) && s[i] != '=' && s[i] != '}' && s[i] != ',' {
 			i++
 		}
 		if i >= len(s) || s[i] != '=' {
-			return 0, fmt.Errorf("label block %q: missing '='", s)
+			return nil, 0, fmt.Errorf("label block %q: missing '='", s)
 		}
-		if !validName(strings.TrimSpace(s[start:i])) {
-			return 0, fmt.Errorf("label block %q: invalid label name %q", s, s[start:i])
+		key := strings.TrimSpace(s[start:i])
+		if !validName(key) {
+			return nil, 0, fmt.Errorf("label block %q: invalid label name %q", s, s[start:i])
 		}
 		i++
 		if i >= len(s) || s[i] != '"' {
-			return 0, fmt.Errorf("label block %q: value not quoted", s)
+			return nil, 0, fmt.Errorf("label block %q: value not quoted", s)
 		}
 		i++
+		var val strings.Builder
 		for i < len(s) && s[i] != '"' {
-			if s[i] == '\\' {
+			if s[i] == '\\' && i+1 < len(s) {
 				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default: // \\ and \" unescape to themselves
+					val.WriteByte(s[i])
+				}
+				i++
+				continue
 			}
+			val.WriteByte(s[i])
 			i++
 		}
 		if i >= len(s) {
-			return 0, fmt.Errorf("label block %q: unterminated value", s)
+			return nil, 0, fmt.Errorf("label block %q: unterminated value", s)
 		}
 		i++ // closing quote
+		labels = append(labels, Label{Key: key, Value: val.String()})
 		if i < len(s) && s[i] == ',' {
 			i++
 		}

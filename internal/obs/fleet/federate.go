@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"clustersim/internal/obs"
+)
+
+// Target is one worker /metrics endpoint to federate: the worker ID
+// and its obs server base URL (as advertised on the fabric Hello).
+type Target struct {
+	Worker string
+	URL    string
+}
+
+// scrapeState is the last scrape outcome for one worker. A failed
+// scrape records the error but keeps the last good document, so a
+// worker that exits after draining still contributes its final counts.
+type scrapeState struct {
+	doc      *obs.Exposition
+	err      string
+	atUnixMS int64
+}
+
+// Federator periodically scrapes registered workers' /metrics (parsed
+// with the same strict validator behind tracetool metrics) and renders
+// the union with a worker= label spliced into every series, in the
+// deterministic order the rest of the registry machinery guarantees:
+// families sorted by name, then workers sorted, then samples in their
+// per-worker document order (already signature-sorted by the worker's
+// own renderer).
+type Federator struct {
+	mu      sync.Mutex
+	client  *http.Client
+	scrapes map[string]*scrapeState
+	order   []string
+}
+
+// NewFederator creates a federator with a short per-scrape timeout —
+// a wedged worker must not stall the poll loop.
+func NewFederator() *Federator {
+	return &Federator{
+		client:  &http.Client{Timeout: 5 * time.Second},
+		scrapes: make(map[string]*scrapeState),
+	}
+}
+
+// state finds or creates a worker's scrape slot (caller holds f.mu).
+func (f *Federator) state(worker string) *scrapeState {
+	s := f.scrapes[worker]
+	if s == nil {
+		s = &scrapeState{}
+		f.scrapes[worker] = s
+		f.order = append(f.order, worker)
+	}
+	return s
+}
+
+// Scrape fetches and validates one worker's /metrics right now.
+// baseURL is the worker's obs server root (http://host:port).
+func (f *Federator) Scrape(worker, baseURL string) error {
+	doc, err := f.fetch(baseURL)
+	f.mu.Lock()
+	s := f.state(worker)
+	// Harness wall clock: scrape freshness stamp for the fleet doc only.
+	s.atUnixMS = time.Now().UnixMilli() //simlint:allow wallclock
+	if err != nil {
+		s.err = err.Error()
+	} else {
+		s.err = ""
+		s.doc = doc
+	}
+	f.mu.Unlock()
+	return err
+}
+
+func (f *Federator) fetch(baseURL string) (*obs.Exposition, error) {
+	resp, err := f.client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("scrape %s/metrics: status %d", baseURL, resp.StatusCode)
+	}
+	doc, err := obs.ReadExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s/metrics: %v", baseURL, err)
+	}
+	return doc, nil
+}
+
+// Poll scrapes every target on each tick until stop closes. targets is
+// re-evaluated per round so newly joined workers federate without a
+// restart. Runs in the caller's goroutine.
+func (f *Federator) Poll(interval time.Duration, targets func() []Target, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	// Harness pacing only: the scrape cadence never feeds simulated state.
+	t := time.NewTicker(interval) //simlint:allow wallclock
+	defer t.Stop()
+	for {
+		for _, tgt := range targets() {
+			if tgt.URL == "" {
+				continue
+			}
+			f.Scrape(tgt.Worker, tgt.URL)
+		}
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeStatus is one worker's last-scrape summary for the fleet doc.
+type ScrapeStatus struct {
+	Worker   string
+	Err      string
+	AtUnixMS int64
+	Series   int
+}
+
+// Status reports every scraped worker in first-seen order.
+func (f *Federator) Status() []ScrapeStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ScrapeStatus, 0, len(f.order))
+	for _, w := range f.order {
+		s := f.scrapes[w]
+		st := ScrapeStatus{Worker: w, Err: s.err, AtUnixMS: s.atUnixMS}
+		if s.doc != nil {
+			st.Series = s.doc.Stats().Series
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// WritePrometheus renders the federated exposition: every worker's last
+// good scrape, re-labelled with worker=<id>. Deterministic for a fixed
+// set of scrape documents; the output passes ParseExposition (the
+// worker label makes colliding series distinct).
+func (f *Federator) WritePrometheus(w io.Writer) error {
+	f.mu.Lock()
+	workers := make([]string, 0, len(f.order))
+	docs := make(map[string]*obs.Exposition, len(f.order))
+	for _, id := range f.order {
+		if s := f.scrapes[id]; s.doc != nil {
+			workers = append(workers, id)
+			docs[id] = s.doc
+		}
+	}
+	f.mu.Unlock()
+	sort.Strings(workers)
+
+	// Union of family names; kind/help from the first worker declaring
+	// the family (they agree in practice — every worker runs the same
+	// registry code).
+	type famMeta struct{ kind, help string }
+	fams := make(map[string]famMeta)
+	var famNames []string
+	for _, id := range workers {
+		for i := range docs[id].Families {
+			fam := &docs[id].Families[i]
+			if _, ok := fams[fam.Name]; !ok {
+				fams[fam.Name] = famMeta{kind: fam.Kind, help: fam.Help}
+				famNames = append(famNames, fam.Name)
+			}
+		}
+	}
+	sort.Strings(famNames)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range famNames {
+		meta := fams[name]
+		if meta.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, meta.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, meta.kind)
+		for _, id := range workers {
+			for i := range docs[id].Families {
+				fam := &docs[id].Families[i]
+				if fam.Name != name {
+					continue
+				}
+				for _, s := range fam.Samples {
+					labels := make([]obs.Label, 0, len(s.Labels)+1)
+					labels = append(labels, s.Labels...)
+					labels = append(labels, obs.L("worker", id))
+					fmt.Fprintf(bw, "%s%s %s\n", s.Name, obs.Signature(labels), obs.FormatValue(s.Value))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

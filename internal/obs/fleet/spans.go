@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"sync"
+
+	"clustersim/internal/obs"
+)
+
+// spanBufferCap bounds the worker-side span backlog. Under a long
+// coordinator outage the oldest spans are dropped first: the
+// coordinator's own fabric-result events guarantee every point still
+// gets a terminal span in the merged timeline, so worker spans are
+// enrichment, delivered at-most-once.
+const spanBufferCap = 4096
+
+// SpanBuffer collects a worker's point-local span events for piggyback
+// shipment on fabric Result/Heartbeat frames. It attaches as the worker
+// event log's mirror, so every locally emitted event is captured
+// without a subscriber goroutine.
+type SpanBuffer struct {
+	mu      sync.Mutex
+	buf     []obs.Event
+	dropped uint64
+}
+
+// NewSpanBuffer creates an empty buffer.
+func NewSpanBuffer() *SpanBuffer { return &SpanBuffer{} }
+
+// Observe enqueues one event (the log-mirror callback), dropping the
+// oldest beyond capacity.
+func (b *SpanBuffer) Observe(e obs.Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if len(b.buf) == spanBufferCap {
+		copy(b.buf, b.buf[1:])
+		b.buf = b.buf[:spanBufferCap-1]
+		b.dropped++
+	}
+	b.buf = append(b.buf, e)
+	b.mu.Unlock()
+}
+
+// Drain removes and returns up to max buffered events, oldest first
+// (max <= 0 drains everything). The fabric worker calls this when
+// assembling an outgoing frame.
+func (b *SpanBuffer) Drain(max int) []obs.Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.buf)
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]obs.Event, n)
+	copy(out, b.buf[:n])
+	rest := copy(b.buf, b.buf[n:])
+	b.buf = b.buf[:rest]
+	return out
+}
+
+// Dropped reports how many events capacity pressure discarded.
+func (b *SpanBuffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -152,3 +152,34 @@ func TestParseExpositionRoundTripAndRejects(t *testing.T) {
 		t.Errorf("legal document rejected: %v", err)
 	}
 }
+
+// TestParseExpositionRejectsDuplicateSeries pins the series-identity
+// contract the metrics federation relies on: a series is identified by
+// its name plus the KEY-SORTED label signature, so two samples whose
+// labels differ only in order are the same series and must be rejected
+// as duplicates.
+func TestParseExpositionRejectsDuplicateSeries(t *testing.T) {
+	dup := "m{a=\"1\",b=\"2\"} 1\nm{b=\"2\",a=\"1\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(dup)); err == nil {
+		t.Errorf("reordered-label duplicate accepted: %q", dup)
+	} else if !strings.Contains(err.Error(), "duplicate series") {
+		t.Errorf("error = %v, want it to name the duplicate series", err)
+	}
+
+	exact := "m{a=\"1\"} 1\nm{a=\"1\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(exact)); err == nil {
+		t.Errorf("exact duplicate accepted: %q", exact)
+	}
+
+	// Distinct label VALUES are distinct series; so are bare vs labelled.
+	ok := "m{a=\"1\",b=\"2\"} 1\nm{a=\"2\",b=\"1\"} 2\nn 1\nn_total{x=\"y\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("distinct series rejected: %v", err)
+	}
+
+	// A duplicated TYPE declaration is a malformation too.
+	dupType := "# TYPE m counter\nm 1\n# TYPE m counter\n"
+	if _, err := ParseExposition(strings.NewReader(dupType)); err == nil {
+		t.Errorf("duplicate TYPE accepted: %q", dupType)
+	}
+}

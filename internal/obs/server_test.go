@@ -205,3 +205,58 @@ func TestServerStartServesAndCloses(t *testing.T) {
 		t.Errorf("close: %v", err)
 	}
 }
+
+// TestServerEventsFollowWithPointFilter pins the combined
+// /events?point=&follow=1 contract: the filter applies to both the
+// replayed ring and the live stream, and the stream still ends cleanly
+// on shutdown.
+func TestServerEventsFollowWithPointFilter(t *testing.T) {
+	log := NewLog(nil, "r")
+	log.SetClock(fakeClock(time.Unix(0, 0), time.Millisecond))
+	log.Emit(Event{Kind: EventPointStart, Point: "a"})
+	log.Emit(Event{Kind: EventPointStart, Point: "b"})
+	run, err := NewServer(nil, nil, log).Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+
+	resp, err := http.Get(run.URL() + "/events?point=a&follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got := make(chan []Event, 1)
+	go func() { //simlint:allow goroutine — test harness
+		body, _ := io.ReadAll(resp.Body)
+		var evs []Event
+		for _, ln := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			var e Event
+			if json.Unmarshal([]byte(ln), &e) == nil {
+				evs = append(evs, e)
+			}
+		}
+		got <- evs
+	}()
+
+	// Live events on both points while the follower is attached.
+	time.Sleep(50 * time.Millisecond) //simlint:allow wallclock — test pacing
+	log.Emit(Event{Kind: EventPointDone, Point: "b"})
+	log.Emit(Event{Kind: EventPointDone, Point: "a"})
+	time.Sleep(50 * time.Millisecond) //simlint:allow wallclock — test pacing
+	if err := run.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	evs := <-got
+	if len(evs) != 2 {
+		t.Fatalf("%d events through point filter, want 2 (ring + live): %+v", len(evs), evs)
+	}
+	for _, e := range evs {
+		if e.Point != "a" {
+			t.Errorf("combined filter leaked %+v", e)
+		}
+	}
+	if evs[0].Kind != EventPointStart || evs[1].Kind != EventPointDone {
+		t.Errorf("stream order: %+v", evs)
+	}
+}

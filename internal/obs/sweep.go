@@ -209,14 +209,19 @@ func (s *Sweep) PointStarted(name, app string, cluster int, cache string) {
 	s.log.Emit(Event{Kind: EventPointStart, Span: SpanBegin, Point: name, App: app, Cluster: cluster, Cache: cache})
 }
 
-// PointDone marks a freshly computed point finished.
+// PointDone marks a freshly computed point finished. Idempotent per
+// point: in a distributed sweep a stolen point can complete on two
+// workers, and the byte-identical duplicate is delivered again — the
+// second completion must not count twice toward the counters or the
+// ETA's completed-cost mean (pinned by
+// TestSweepDuplicateCompletionCountsOnce).
 func (s *Sweep) PointDone(name string, wall time.Duration, virtCycles int64) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	p := s.points[name]
-	if p == nil {
+	if p == nil || p.State == PointDone {
 		s.mu.Unlock()
 		return
 	}

@@ -139,3 +139,40 @@ func TestNilSweepIsSafe(t *testing.T) {
 		t.Error("nil sweep leaked non-nil state")
 	}
 }
+
+// TestSweepDuplicateCompletionCountsOnce pins the distributed-sweep
+// ETA discipline: a stolen point can complete on two workers, and the
+// byte-identical duplicate is delivered to the sweep again — the second
+// PointDone must not move the counters or feed the ETA's completed-cost
+// mean a second sample.
+func TestSweepDuplicateCompletionCountsOnce(t *testing.T) {
+	reg := NewRegistry()
+	sw := NewSweepAt("run-dup", reg, nil, fakeClock(time.Unix(3000, 0), time.Second))
+	sw.SetTotalPoints(2)
+
+	sw.PointStarted("fft-c4-inf", "fft", 4, "inf")
+	sw.PointDone("fft-c4-inf", 2*time.Second, 100)
+	// The stolen copy lands: same point, different measured wall cost.
+	sw.PointDone("fft-c4-inf", 8*time.Second, 100)
+
+	doc := sw.Status()
+	if doc.Counts.Done != 1 {
+		t.Errorf("done = %d after duplicate completion, want 1", doc.Counts.Done)
+	}
+	// One 2s sample, one of two points done: mean must stay 2s and the
+	// projection 2s — a second (8s) sample would skew both.
+	if doc.ETA.MeanPointMS != 2000 || doc.ETA.RemainingMS != 2000 {
+		t.Errorf("eta after duplicate = %+v, want mean 2000ms / remaining 2000ms", doc.ETA)
+	}
+	if doc.Points[0].WallMS != 2000 {
+		t.Errorf("point wall = %dms, want the first completion's 2000ms", doc.Points[0].WallMS)
+	}
+	var expo bytes.Buffer
+	reg.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), `clustersim_sweep_points_total{state="done"} 1`) {
+		t.Errorf("done counter incremented twice:\n%s", expo.String())
+	}
+	if !strings.Contains(expo.String(), "clustersim_sweep_points_running 0") {
+		t.Errorf("running gauge went negative:\n%s", expo.String())
+	}
+}
